@@ -1,0 +1,46 @@
+//! Table 2 regenerated as a Criterion benchmark: the analytical platform
+//! model evaluated for the four Jetson targets, plus the cost of deriving
+//! the workload from a freshly built Table 1 network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ms_sim::campaign::MS_TASK_SUBSTANCES;
+use platform::{estimate, Device, Workload};
+use spectroai::pipeline::ms::{ActivationChoice, MsPipeline};
+
+fn platform_estimates(c: &mut Criterion) {
+    let network = MsPipeline::table1_spec(397, MS_TASK_SUBSTANCES.len(), ActivationChoice::paper_best())
+        .build(0)
+        .expect("network");
+    let workload = Workload::from_network("table1", &network);
+
+    let mut group = c.benchmark_group("table2_model");
+    for device in Device::jetson_presets() {
+        let label = device.name.replace([' ', '(', ')'], "_");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(estimate(black_box(&device), black_box(&workload), 21_600)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("workload_from_network", |b| {
+        b.iter(|| black_box(Workload::from_network("table1", black_box(&network))))
+    });
+}
+
+fn network_build(c: &mut Criterion) {
+    c.bench_function("table1_network_build", |b| {
+        b.iter(|| {
+            let spec = MsPipeline::table1_spec(
+                397,
+                MS_TASK_SUBSTANCES.len(),
+                ActivationChoice::paper_best(),
+            );
+            black_box(spec.build(0).expect("build"))
+        })
+    });
+}
+
+criterion_group!(benches, platform_estimates, network_build);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Throughput of the data generators: the paper's claim that "a
+//! sufficient number of simulated and labelled measurement series can be
+//! generated in minutes" (Tool 3, §III.A.1) and the NMR augmentation
+//! that enhances 300 spectra "to 300.000 spectra" (§III.B.1, Figure 8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chem::fragmentation::GasLibrary;
+use chem::Mixture;
+use ms_sim::ideal::IdealSpectrumGenerator;
+use ms_sim::instrument::{default_axis, nominal_instrument};
+use ms_sim::prototype::MmsPrototype;
+use ms_sim::simulate::TrainingSimulator;
+use nmr_sim::augment::{AugmentationConfig, SpectraAugmenter};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn ms_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ms_simulators");
+    group.sample_size(30);
+
+    let generator = IdealSpectrumGenerator::new(GasLibrary::standard());
+    let mixture = Mixture::from_fractions(vec![
+        ("N2".into(), 0.5),
+        ("O2".into(), 0.2),
+        ("CO2".into(), 0.2),
+        ("Ar".into(), 0.1),
+    ])
+    .expect("mixture");
+    group.bench_function("tool1_ideal_line_spectrum", |b| {
+        b.iter(|| black_box(generator.generate(black_box(&mixture)).expect("ideal")))
+    });
+
+    let simulator = TrainingSimulator::new(
+        nominal_instrument(),
+        GasLibrary::standard(),
+        vec!["N2".into(), "O2".into(), "CO2".into(), "Ar".into()],
+        default_axis(),
+    )
+    .expect("simulator");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    group.bench_function("tool3_simulated_measurement", |b| {
+        b.iter(|| {
+            black_box(
+                simulator
+                    .simulate_measurement(black_box(&mixture), &mut rng)
+                    .expect("measurement"),
+            )
+        })
+    });
+
+    let mut prototype = MmsPrototype::new(2);
+    group.bench_function("prototype_measurement", |b| {
+        b.iter(|| black_box(prototype.measure(black_box(&mixture)).expect("measure")))
+    });
+    group.finish();
+}
+
+fn nmr_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nmr_simulators");
+    group.sample_size(20);
+
+    let augmenter = SpectraAugmenter::new(AugmentationConfig::default()).expect("augmenter");
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let concentrations = [0.3, 0.4, 0.2, 0.1];
+    group.bench_function("augment_single_spectrum", |b| {
+        b.iter(|| {
+            black_box(
+                augmenter
+                    .synthesize(black_box(&concentrations), &mut rng)
+                    .expect("synthesize"),
+            )
+        })
+    });
+
+    group.bench_function("augment_batch_of_100", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(augmenter.generate(100, seed).expect("generate"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ms_generators, nmr_generators);
+criterion_main!(benches);

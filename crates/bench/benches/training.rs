@@ -1,0 +1,58 @@
+//! Training-step costs of the three network families — the practical
+//! budget behind every accuracy figure (Figures 5–7 retrain the Table 1
+//! CNN up to eight times; §III.B trains the NMR CNN for up to 400
+//! epochs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ms_sim::campaign::MS_TASK_SUBSTANCES;
+use neural::Loss;
+use spectroai::pipeline::ms::{ActivationChoice, MsPipeline};
+use spectroai::pipeline::nmr::NmrPipeline;
+
+fn train_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+
+    // MS Table 1 network: one forward+backward on a 397-point spectrum.
+    let mut ms_net =
+        MsPipeline::table1_spec(397, MS_TASK_SUBSTANCES.len(), ActivationChoice::paper_best())
+            .build(1)
+            .expect("ms net");
+    let ms_input = vec![0.05f32; 397];
+    let ms_target = vec![0.125f32; 8];
+    group.bench_function("ms_table1_fwd_bwd", |b| {
+        b.iter(|| {
+            ms_net.zero_grads();
+            black_box(ms_net.train_step(black_box(&ms_input), &ms_target, Loss::Mae))
+        })
+    });
+
+    // NMR CNN: one forward+backward on a 1700-point spectrum.
+    let mut cnn = NmrPipeline::cnn_spec().build(1).expect("cnn");
+    let cnn_input = vec![0.1f32; 1700];
+    let cnn_target = vec![0.3f32; 4];
+    group.bench_function("nmr_cnn_fwd_bwd", |b| {
+        b.iter(|| {
+            cnn.zero_grads();
+            black_box(cnn.train_step(black_box(&cnn_input), &cnn_target, Loss::Mse))
+        })
+    });
+
+    // NMR LSTM: one forward+backward on a 5x1700 window.
+    let mut lstm = NmrPipeline::lstm_spec(5).build(1).expect("lstm");
+    let lstm_input = vec![0.1f32; 5 * 1700];
+    let lstm_target = vec![0.3f32; 4];
+    group.sample_size(10);
+    group.bench_function("nmr_lstm_fwd_bwd", |b| {
+        b.iter(|| {
+            lstm.zero_grads();
+            black_box(lstm.train_step(black_box(&lstm_input), &lstm_target, Loss::Mse))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, train_steps);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 4: the ideal line spectrum from Tool 1 (blue) versus the
+//! simulated continuous spectrum from Tool 3 (orange) for one specific
+//! substance mixture.
+//!
+//! Paper shape to reproduce: the continuous spectrum shows broadened
+//! peaks at every stick position, plus one peak with **no counterpart in
+//! the line spectrum** — the ignition-gas contribution ("the peak in the
+//! simulated continuous spectrum which has no counterpart in the
+//! line-spectrum is caused by the utilized ignition gas").
+
+use bench::{banner, write_csv};
+use chem::fragmentation::GasLibrary;
+use chem::Mixture;
+use ms_sim::ideal::IdealSpectrumGenerator;
+use ms_sim::instrument::{default_axis, nominal_instrument};
+use ms_sim::simulate::TrainingSimulator;
+
+fn main() {
+    banner("Figure 4 — ideal vs simulated spectrum", "Fricke et al. 2021, Fig. 4");
+
+    // One specific mixture, as in the paper's figure.
+    let mixture = Mixture::from_fractions(vec![
+        ("N2".into(), 0.55),
+        ("O2".into(), 0.15),
+        ("CO2".into(), 0.20),
+        ("Ar".into(), 0.10),
+    ])
+    .expect("static mixture");
+    println!("mixture: {:?}\n", mixture.parts());
+
+    // Tool 1: ideal line spectrum (no ignition gas, no instrument).
+    let generator = IdealSpectrumGenerator::new(GasLibrary::standard());
+    let line = generator.generate(&mixture).expect("ideal spectrum");
+
+    // Tool 3: simulated continuous spectrum from the nominal instrument.
+    let axis = default_axis();
+    let simulator = TrainingSimulator::new(
+        nominal_instrument(),
+        GasLibrary::standard(),
+        mixture.names().iter().map(|s| s.to_string()).collect(),
+        axis,
+    )
+    .expect("simulator");
+    let continuous = simulator.simulate_clean(&mixture).expect("simulated spectrum");
+
+    // Print the stick table.
+    println!("Tool 1 line spectrum ({} sticks):", line.len());
+    println!("{:>8} {:>12}", "m/z", "intensity");
+    for &(mz, intensity) in line.sticks() {
+        if intensity > 1e-4 {
+            println!("{mz:>8.2} {intensity:>12.5}");
+        }
+    }
+
+    // The ignition-gas peak: present in the continuous trace, absent from
+    // the line spectrum.
+    let he_line = line.intensity_at(4.0);
+    let he_continuous = continuous.sample_at(4.0);
+    println!("\nignition-gas check at m/z 4 (He):");
+    println!("  line spectrum intensity : {he_line:.5} (no counterpart)");
+    println!("  continuous sample       : {he_continuous:.5} (ignition gas visible)");
+    assert_eq!(he_line, 0.0, "He must be absent from the ideal spectrum");
+    assert!(
+        he_continuous > 0.01,
+        "He ignition peak must appear in the simulated spectrum"
+    );
+
+    // Peak-for-stick correspondence at the strongest sticks.
+    println!("\nstick -> continuous peak correspondence:");
+    for &(mz, intensity) in line.sticks() {
+        if intensity < 0.05 {
+            continue;
+        }
+        let peak = continuous.sample_at(mz + 0.0);
+        println!("  m/z {mz:>6.2}: stick {intensity:.4} -> continuous {peak:.4}");
+    }
+
+    // Export both series for plotting.
+    let line_rows: Vec<String> = line
+        .sticks()
+        .iter()
+        .map(|&(mz, i)| format!("{mz:.4},{i:.6}"))
+        .collect();
+    let cont_rows: Vec<String> = continuous
+        .iter()
+        .map(|(x, y)| format!("{x:.4},{y:.6}"))
+        .collect();
+    let p1 = write_csv("fig4_line_spectrum.csv", "mz,intensity", &line_rows);
+    let p2 = write_csv("fig4_simulated_spectrum.csv", "mz,intensity", &cont_rows);
+    println!("\nseries written to {} and {}", p1.display(), p2.display());
+}

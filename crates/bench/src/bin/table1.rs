@@ -1,0 +1,37 @@
+//! Table 1: the structure of the ANN used for mass-spectrum analysis.
+//!
+//! Regenerates the layer table (type, filters, kernel, stride,
+//! activation) with the concrete output shapes and parameter counts our
+//! implementation produces on the paper's 397-point input.
+
+use bench::banner;
+use ms_sim::campaign::MS_TASK_SUBSTANCES;
+use ms_sim::instrument::default_axis;
+use spectroai::pipeline::ms::{ActivationChoice, MsPipeline};
+
+fn main() {
+    banner("Table 1 — MS network topology", "Fricke et al. 2021, Table 1");
+    let axis = default_axis();
+    println!(
+        "input: measured spectrum, m/z {}..{} step {} -> {} points\n",
+        axis.start(),
+        axis.stop(),
+        axis.step(),
+        axis.len()
+    );
+    let spec = MsPipeline::table1_spec(
+        axis.len(),
+        MS_TASK_SUBSTANCES.len(),
+        ActivationChoice::paper_best(),
+    );
+    let network = spec.build(0).expect("table 1 network builds");
+    print!("{}", network.summary_table());
+    println!(
+        "\npaper layer stack: Input/Reshape; Conv1D(25,k20,s1,SELU); Conv1D(25,k20,s3,SELU);"
+    );
+    println!("Conv1D(25,k15,s2,SELU); Conv1D(15,k15,s4,Softmax); Flatten; Dense(Softmax)");
+    println!(
+        "\nexpected spatial shapes on 397 inputs: 378 / 120 / 53 / 10 -> flatten 150 -> {} outputs",
+        MS_TASK_SUBSTANCES.len()
+    );
+}

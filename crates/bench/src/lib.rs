@@ -1,0 +1,90 @@
+//! Shared helpers for the experiment-harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §4). All harnesses run at a CI-friendly scale by default and
+//! switch to paper-scale workloads when the environment variable
+//! `SPECTROAI_FULL=1` is set.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Returns `true` when paper-scale workloads were requested via
+/// `SPECTROAI_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("SPECTROAI_FULL").map_or(false, |v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Picks `quick` or `full` depending on [`full_scale`].
+pub fn pick<T>(quick: T, full: T) -> T {
+    if full_scale() {
+        full
+    } else {
+        quick
+    }
+}
+
+/// The directory experiment outputs (CSV series) are written to:
+/// `target/experiments/`.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes a CSV file into [`experiments_dir`] and returns its path.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = experiments_dir().join(name);
+    let mut file = std::fs::File::create(&path).expect("create csv");
+    writeln!(file, "{header}").expect("write header");
+    for row in rows {
+        writeln!(file, "{row}").expect("write row");
+    }
+    path
+}
+
+/// Prints a banner naming the experiment and its scale.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{experiment}  —  reproduces {paper_ref}");
+    println!(
+        "scale: {} (set SPECTROAI_FULL=1 for paper-scale workloads)",
+        if full_scale() { "FULL" } else { "quick" }
+    );
+    println!("================================================================");
+}
+
+/// Formats a fraction as percent with two decimals (the paper reports
+/// MAE in percent).
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_percent() {
+        assert_eq!(pct(0.015), "1.50%");
+    }
+
+    #[test]
+    fn pick_respects_scale() {
+        // Cannot portably set env vars in parallel tests; just check the
+        // quick path (CI never sets SPECTROAI_FULL).
+        if !full_scale() {
+            assert_eq!(pick(1, 2), 1);
+        }
+    }
+
+    #[test]
+    fn experiments_dir_is_creatable() {
+        let dir = experiments_dir();
+        assert!(dir.exists());
+    }
+}

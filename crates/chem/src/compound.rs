@@ -1,0 +1,89 @@
+//! Chemical compounds.
+
+use serde::{Deserialize, Serialize};
+
+/// A chemical compound with a display name, a molecular formula and its
+/// molar mass in g/mol.
+///
+/// # Example
+///
+/// ```
+/// use chem::Compound;
+///
+/// let water = Compound::new("H2O", "H2O", 18.015);
+/// assert_eq!(water.name(), "H2O");
+/// assert!((water.molar_mass() - 18.015).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Compound {
+    name: String,
+    formula: String,
+    molar_mass: f64,
+}
+
+impl Compound {
+    /// Creates a compound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `molar_mass` is not strictly positive and finite
+    /// (compound definitions are static library data; invalid mass is a
+    /// programming error).
+    pub fn new(name: impl Into<String>, formula: impl Into<String>, molar_mass: f64) -> Self {
+        assert!(
+            molar_mass.is_finite() && molar_mass > 0.0,
+            "molar mass must be positive, got {molar_mass}"
+        );
+        Self {
+            name: name.into(),
+            formula: formula.into(),
+            molar_mass,
+        }
+    }
+
+    /// Display name (also the key used in libraries and mixtures).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Molecular formula.
+    pub fn formula(&self) -> &str {
+        &self.formula
+    }
+
+    /// Molar mass in g/mol.
+    pub fn molar_mass(&self) -> f64 {
+        self.molar_mass
+    }
+}
+
+impl std::fmt::Display for Compound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name, self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Compound::new("Nitrogen", "N2", 28.014);
+        assert_eq!(c.name(), "Nitrogen");
+        assert_eq!(c.formula(), "N2");
+        assert_eq!(c.molar_mass(), 28.014);
+    }
+
+    #[test]
+    fn display_includes_formula() {
+        let c = Compound::new("Water", "H2O", 18.015);
+        assert_eq!(c.to_string(), "Water (H2O)");
+    }
+
+    #[test]
+    #[should_panic(expected = "molar mass")]
+    fn rejects_non_positive_mass() {
+        let _ = Compound::new("Bad", "X", 0.0);
+    }
+}

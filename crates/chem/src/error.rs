@@ -1,0 +1,49 @@
+use std::fmt;
+
+/// Error type for the chemical domain model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChemError {
+    /// A mixture fraction was negative, non-finite, or fractions did not
+    /// sum to one within tolerance.
+    InvalidFraction(String),
+    /// A compound name was not found in the relevant library.
+    UnknownCompound(String),
+    /// A reaction parameter (conversion, feed ratio) was out of range.
+    InvalidReaction(String),
+    /// The input collection was empty where at least one element is needed.
+    Empty,
+}
+
+impl fmt::Display for ChemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChemError::InvalidFraction(msg) => write!(f, "invalid fraction: {msg}"),
+            ChemError::UnknownCompound(name) => write!(f, "unknown compound: {name}"),
+            ChemError::InvalidReaction(msg) => write!(f, "invalid reaction parameter: {msg}"),
+            ChemError::Empty => write!(f, "input collection is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ChemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ChemError::UnknownCompound("Xe".into()).to_string(),
+            "unknown compound: Xe"
+        );
+        assert!(ChemError::Empty.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChemError>();
+    }
+}

@@ -1,0 +1,202 @@
+//! Molecular-formula parsing and molar-mass computation.
+//!
+//! Supports element symbols, counts, and parenthesized groups —
+//! `"C6H18LiNSi2"`, `"(CH3)3SiN"`, `"H2O"`. Atomic masses cover the
+//! elements appearing in the workspace's gas and reagent libraries.
+
+use crate::ChemError;
+
+/// Standard atomic weights (g/mol) of the supported elements.
+const ATOMIC_MASSES: &[(&str, f64)] = &[
+    ("H", 1.008),
+    ("He", 4.0026),
+    ("Li", 6.94),
+    ("C", 12.011),
+    ("N", 14.007),
+    ("O", 15.999),
+    ("F", 18.998),
+    ("Ne", 20.180),
+    ("Si", 28.085),
+    ("P", 30.974),
+    ("S", 32.06),
+    ("Cl", 35.45),
+    ("Ar", 39.948),
+    ("K", 39.098),
+    ("Ca", 40.078),
+    ("Kr", 83.798),
+    ("Xe", 131.29),
+];
+
+/// Looks up the atomic mass of an element symbol.
+///
+/// # Errors
+///
+/// Returns [`ChemError::UnknownCompound`] for unsupported symbols.
+pub fn atomic_mass(symbol: &str) -> Result<f64, ChemError> {
+    ATOMIC_MASSES
+        .iter()
+        .find(|(s, _)| *s == symbol)
+        .map(|&(_, m)| m)
+        .ok_or_else(|| ChemError::UnknownCompound(format!("element {symbol}")))
+}
+
+/// Computes the molar mass of a molecular formula.
+///
+/// # Errors
+///
+/// Returns [`ChemError::UnknownCompound`] for unknown element symbols or
+/// [`ChemError::InvalidReaction`] for malformed syntax (unbalanced
+/// parentheses, dangling counts, empty formula).
+///
+/// # Example
+///
+/// ```
+/// use chem::formula::molar_mass;
+///
+/// # fn main() -> Result<(), chem::ChemError> {
+/// assert!((molar_mass("H2O")? - 18.015).abs() < 0.01);
+/// assert!((molar_mass("(CH3)3SiCl")? - 108.64).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn molar_mass(formula: &str) -> Result<f64, ChemError> {
+    let tokens: Vec<char> = formula.chars().collect();
+    let (mass, consumed) = parse_group(&tokens, 0)?;
+    if consumed != tokens.len() {
+        return Err(ChemError::InvalidReaction(format!(
+            "unexpected character at position {consumed} in {formula}"
+        )));
+    }
+    if mass <= 0.0 {
+        return Err(ChemError::InvalidReaction(format!("empty formula {formula}")));
+    }
+    Ok(mass)
+}
+
+/// Parses a group (sequence of element/parenthesized terms) starting at
+/// `start`, returning `(mass, next_index)`. Stops at `)` or end of input.
+fn parse_group(tokens: &[char], start: usize) -> Result<(f64, usize), ChemError> {
+    let mut i = start;
+    let mut mass = 0.0;
+    while i < tokens.len() {
+        match tokens[i] {
+            '(' => {
+                let (inner, next) = parse_group(tokens, i + 1)?;
+                if next >= tokens.len() || tokens[next] != ')' {
+                    return Err(ChemError::InvalidReaction(
+                        "unbalanced parenthesis".into(),
+                    ));
+                }
+                let (count, next) = parse_count(tokens, next + 1);
+                mass += inner * count as f64;
+                i = next;
+            }
+            ')' => break,
+            c if c.is_ascii_uppercase() => {
+                let mut symbol = String::from(c);
+                if i + 1 < tokens.len() && tokens[i + 1].is_ascii_lowercase() {
+                    symbol.push(tokens[i + 1]);
+                    i += 1;
+                }
+                i += 1;
+                let (count, next) = parse_count(tokens, i);
+                mass += atomic_mass(&symbol)? * count as f64;
+                i = next;
+            }
+            c => {
+                return Err(ChemError::InvalidReaction(format!(
+                    "unexpected character {c:?}"
+                )));
+            }
+        }
+    }
+    Ok((mass, i))
+}
+
+/// Parses an optional positive integer count at `start` (default 1).
+fn parse_count(tokens: &[char], start: usize) -> (u32, usize) {
+    let mut i = start;
+    let mut value: u32 = 0;
+    while i < tokens.len() {
+        if let Some(d) = tokens[i].to_digit(10) {
+            value = value.saturating_mul(10).saturating_add(d);
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if i == start {
+        (1, i)
+    } else {
+        (value.max(1), i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_molecules() {
+        assert!((molar_mass("H2O").unwrap() - 18.015).abs() < 0.01);
+        assert!((molar_mass("CO2").unwrap() - 44.009).abs() < 0.01);
+        assert!((molar_mass("N2").unwrap() - 28.014).abs() < 0.01);
+        assert!((molar_mass("Ar").unwrap() - 39.948).abs() < 0.001);
+    }
+
+    #[test]
+    fn multi_letter_symbols() {
+        assert!((molar_mass("He").unwrap() - 4.0026).abs() < 1e-6);
+        assert!((molar_mass("SiH4").unwrap() - 32.117).abs() < 0.01);
+    }
+
+    #[test]
+    fn parenthesized_groups() {
+        // Li-HMDS: LiN(Si(CH3)3)2 = C6H18LiNSi2, 167.33 g/mol.
+        let grouped = molar_mass("LiN(Si(CH3)3)2").unwrap();
+        let flat = molar_mass("C6H18LiNSi2").unwrap();
+        assert!((grouped - flat).abs() < 1e-9);
+        assert!((grouped - 167.33).abs() < 0.05, "{grouped}");
+    }
+
+    #[test]
+    fn workspace_compounds_match_library_masses() {
+        // The hand-entered masses in the libraries agree with the parser.
+        for (formula, expect) in [
+            ("C7H9N", 107.16),   // p-toluidine
+            ("C6H4FNO2", 141.10), // o-FNB
+            ("C13H12N2O2", 228.25), // MNDPA
+            ("C3H8", 44.097),
+            ("CH4", 16.043),
+        ] {
+            let mass = molar_mass(formula).unwrap();
+            assert!(
+                (mass - expect).abs() < 0.05,
+                "{formula}: parsed {mass}, library {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(molar_mass("").is_err());
+        assert!(molar_mass("(H2O").is_err());
+        assert!(molar_mass("H2O)").is_err());
+        assert!(molar_mass("h2o").is_err());
+        assert!(molar_mass("H2O!").is_err());
+        assert!(molar_mass("Zz3").is_err());
+    }
+
+    #[test]
+    fn counts_default_to_one() {
+        let a = molar_mass("CH4").unwrap();
+        let b = molar_mass("C1H4").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn atomic_mass_lookup() {
+        assert!(atomic_mass("C").is_ok());
+        assert!(atomic_mass("Unobtainium").is_err());
+    }
+}

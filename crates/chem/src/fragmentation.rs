@@ -1,0 +1,398 @@
+//! Electron-ionization fragmentation patterns for process gases.
+//!
+//! Each gas decays under ionization into a characteristic set of fragment
+//! ions ("depending on the molecules contained in the sample", paper
+//! §II.A). The patterns below are hand-encoded, NIST-style relative
+//! intensities (base peak = 100) for the gases a miniaturized in-process
+//! mass spectrometer typically monitors. Absolute accuracy of the values
+//! is not load-bearing — the toolchain only requires realistic, distinct,
+//! partially overlapping patterns (e.g. N₂/CO both at m/z 28, O₂ fragment
+//! at 16 overlapping H₂O fragment ions).
+
+use serde::{Deserialize, Serialize};
+use spectrum::LineSpectrum;
+
+use crate::{ChemError, Compound};
+
+/// The fragmentation pattern of one gas: its compound identity, fragment
+/// sticks (m/z, relative intensity with base peak 100) and the relative
+/// ionization sensitivity (how strongly the instrument responds per unit
+/// partial pressure, relative to N₂ = 1.0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FragmentPattern {
+    compound: Compound,
+    sticks: Vec<(f64, f64)>,
+    sensitivity: f64,
+}
+
+impl FragmentPattern {
+    /// Creates a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::InvalidFraction`] if `sensitivity` is not
+    /// strictly positive or any stick intensity is invalid, or
+    /// [`ChemError::Empty`] if there are no sticks.
+    pub fn new(
+        compound: Compound,
+        sticks: Vec<(f64, f64)>,
+        sensitivity: f64,
+    ) -> Result<Self, ChemError> {
+        if sticks.is_empty() {
+            return Err(ChemError::Empty);
+        }
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(ChemError::InvalidFraction(format!(
+                "sensitivity must be positive, got {sensitivity}"
+            )));
+        }
+        for &(mz, i) in &sticks {
+            if !(mz.is_finite() && mz > 0.0 && i.is_finite() && i >= 0.0) {
+                return Err(ChemError::InvalidFraction(format!(
+                    "invalid stick ({mz}, {i})"
+                )));
+            }
+        }
+        Ok(Self {
+            compound,
+            sticks,
+            sensitivity,
+        })
+    }
+
+    /// The compound this pattern belongs to.
+    pub fn compound(&self) -> &Compound {
+        &self.compound
+    }
+
+    /// Fragment sticks as `(m/z, relative intensity)` with base peak 100.
+    pub fn sticks(&self) -> &[(f64, f64)] {
+        &self.sticks
+    }
+
+    /// Relative ionization sensitivity (N₂ = 1.0).
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The pattern as a [`LineSpectrum`] scaled by the sensitivity, i.e.
+    /// the instrument response to a unit partial pressure of this gas.
+    pub fn response_spectrum(&self) -> LineSpectrum {
+        LineSpectrum::from_sticks(
+            self.sticks
+                .iter()
+                .map(|&(mz, i)| (mz, i * self.sensitivity / 100.0))
+                .collect(),
+        )
+        .expect("patterns are validated at construction")
+    }
+}
+
+/// A library of gas fragmentation patterns keyed by compound name.
+///
+/// # Example
+///
+/// ```
+/// use chem::fragmentation::GasLibrary;
+///
+/// let lib = GasLibrary::standard();
+/// let co2 = lib.get("CO2").expect("CO2 is in the standard library");
+/// assert_eq!(co2.sticks()[0].0, 12.0);
+/// assert!(lib.names().len() >= 14);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GasLibrary {
+    patterns: Vec<FragmentPattern>,
+}
+
+impl GasLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self {
+            patterns: Vec::new(),
+        }
+    }
+
+    /// The standard 16-gas library used throughout the workspace.
+    ///
+    /// Fragment values follow the familiar EI-70 eV patterns: molecular
+    /// ions, doubly charged species (e.g. Ar²⁺ at m/z 20) and the common
+    /// fragment ions. Sensitivities are typical relative ion-gauge values.
+    pub fn standard() -> Self {
+        let mut lib = Self::new();
+        let mut add = |name: &str, formula: &str, mass: f64, sens: f64, sticks: &[(f64, f64)]| {
+            let pattern = FragmentPattern::new(
+                Compound::new(name, formula, mass),
+                sticks.to_vec(),
+                sens,
+            )
+            .expect("static library data is valid");
+            lib.insert(pattern);
+        };
+        add("H2", "H2", 2.016, 0.44, &[(2.0, 100.0), (1.0, 2.1)]);
+        add("He", "He", 4.003, 0.14, &[(4.0, 100.0)]);
+        add(
+            "CH4",
+            "CH4",
+            16.043,
+            1.40,
+            &[
+                (16.0, 100.0),
+                (15.0, 85.8),
+                (14.0, 15.6),
+                (13.0, 7.8),
+                (12.0, 2.4),
+                (1.0, 3.4),
+            ],
+        );
+        add(
+            "NH3",
+            "NH3",
+            17.031,
+            1.30,
+            &[(17.0, 100.0), (16.0, 80.1), (15.0, 7.5), (14.0, 2.2)],
+        );
+        add(
+            "H2O",
+            "H2O",
+            18.015,
+            1.00,
+            &[(18.0, 100.0), (17.0, 21.2), (16.0, 0.9), (1.0, 0.3)],
+        );
+        add("Ne", "Ne", 20.180, 0.23, &[(20.0, 100.0), (22.0, 9.2), (10.0, 0.3)]);
+        add(
+            "C2H6",
+            "C2H6",
+            30.070,
+            2.60,
+            &[
+                (28.0, 100.0),
+                (27.0, 33.3),
+                (30.0, 26.2),
+                (29.0, 21.7),
+                (26.0, 23.0),
+                (25.0, 3.5),
+                (15.0, 4.4),
+                (14.0, 3.0),
+            ],
+        );
+        add(
+            "N2",
+            "N2",
+            28.014,
+            1.00,
+            &[(28.0, 100.0), (14.0, 7.2), (29.0, 0.8)],
+        );
+        add(
+            "CO",
+            "CO",
+            28.010,
+            1.05,
+            &[(28.0, 100.0), (12.0, 4.7), (16.0, 1.7), (29.0, 1.2)],
+        );
+        add(
+            "NO",
+            "NO",
+            30.006,
+            1.20,
+            &[(30.0, 100.0), (14.0, 7.5), (15.0, 2.4), (16.0, 1.5)],
+        );
+        add("O2", "O2", 31.998, 0.86, &[(32.0, 100.0), (16.0, 11.4), (34.0, 0.4)]);
+        add(
+            "H2S",
+            "H2S",
+            34.081,
+            2.20,
+            &[(34.0, 100.0), (33.0, 42.0), (32.0, 44.4), (35.0, 2.5), (36.0, 4.2)],
+        );
+        add("Ar", "Ar", 39.948, 1.20, &[(40.0, 100.0), (20.0, 14.6), (36.0, 0.3)]);
+        add(
+            "CO2",
+            "CO2",
+            44.009,
+            1.40,
+            &[(12.0, 6.0), (16.0, 8.5), (22.0, 1.2), (28.0, 11.4), (44.0, 100.0), (45.0, 1.2)],
+        );
+        add(
+            "N2O",
+            "N2O",
+            44.013,
+            1.30,
+            &[(44.0, 100.0), (30.0, 31.1), (28.0, 10.8), (14.0, 12.9), (16.0, 5.0)],
+        );
+        add(
+            "C3H8",
+            "C3H8",
+            44.097,
+            3.70,
+            &[
+                (29.0, 100.0),
+                (28.0, 59.1),
+                (44.0, 27.4),
+                (27.0, 37.9),
+                (43.0, 22.3),
+                (39.0, 16.2),
+                (41.0, 13.4),
+                (15.0, 5.4),
+            ],
+        );
+        lib
+    }
+
+    /// Inserts (or replaces) a pattern.
+    pub fn insert(&mut self, pattern: FragmentPattern) {
+        if let Some(existing) = self
+            .patterns
+            .iter_mut()
+            .find(|p| p.compound().name() == pattern.compound().name())
+        {
+            *existing = pattern;
+        } else {
+            self.patterns.push(pattern);
+        }
+    }
+
+    /// Looks up a pattern by compound name.
+    pub fn get(&self, name: &str) -> Option<&FragmentPattern> {
+        self.patterns.iter().find(|p| p.compound().name() == name)
+    }
+
+    /// Looks up a pattern, turning a miss into an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::UnknownCompound`] if `name` is not present.
+    pub fn require(&self, name: &str) -> Result<&FragmentPattern, ChemError> {
+        self.get(name)
+            .ok_or_else(|| ChemError::UnknownCompound(name.to_string()))
+    }
+
+    /// All compound names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.patterns
+            .iter()
+            .map(|p| p.compound().name())
+            .collect()
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` if the library holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterator over the patterns.
+    pub fn iter(&self) -> std::slice::Iter<'_, FragmentPattern> {
+        self.patterns.iter()
+    }
+}
+
+impl Default for GasLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> IntoIterator for &'a GasLibrary {
+    type Item = &'a FragmentPattern;
+    type IntoIter = std::slice::Iter<'a, FragmentPattern>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_sixteen_gases() {
+        let lib = GasLibrary::standard();
+        assert_eq!(lib.len(), 16);
+        for name in ["H2", "He", "CH4", "NH3", "H2O", "N2", "O2", "Ar", "CO2", "CO"] {
+            assert!(lib.get(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn base_peaks_are_100() {
+        for pattern in &GasLibrary::standard() {
+            let max = pattern
+                .sticks()
+                .iter()
+                .map(|&(_, i)| i)
+                .fold(f64::MIN, f64::max);
+            assert_eq!(max, 100.0, "{}", pattern.compound().name());
+        }
+    }
+
+    #[test]
+    fn n2_and_co_overlap_at_28() {
+        let lib = GasLibrary::standard();
+        let n2 = lib.get("N2").unwrap().response_spectrum();
+        let co = lib.get("CO").unwrap().response_spectrum();
+        assert!(n2.intensity_at(28.0) > 0.0);
+        assert!(co.intensity_at(28.0) > 0.0);
+    }
+
+    #[test]
+    fn response_spectrum_scales_by_sensitivity() {
+        let lib = GasLibrary::standard();
+        let ar = lib.get("Ar").unwrap();
+        let spec = ar.response_spectrum();
+        assert!((spec.intensity_at(40.0) - ar.sensitivity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn require_reports_unknown() {
+        let lib = GasLibrary::standard();
+        assert!(matches!(
+            lib.require("Xe"),
+            Err(ChemError::UnknownCompound(_))
+        ));
+        assert!(lib.require("Ar").is_ok());
+    }
+
+    #[test]
+    fn insert_replaces_same_name() {
+        let mut lib = GasLibrary::standard();
+        let n = lib.len();
+        let replacement = FragmentPattern::new(
+            Compound::new("Ar", "Ar", 39.948),
+            vec![(40.0, 100.0)],
+            2.0,
+        )
+        .unwrap();
+        lib.insert(replacement);
+        assert_eq!(lib.len(), n);
+        assert_eq!(lib.get("Ar").unwrap().sensitivity(), 2.0);
+    }
+
+    #[test]
+    fn pattern_validation() {
+        let c = Compound::new("X", "X", 10.0);
+        assert!(FragmentPattern::new(c.clone(), vec![], 1.0).is_err());
+        assert!(FragmentPattern::new(c.clone(), vec![(10.0, 100.0)], 0.0).is_err());
+        assert!(FragmentPattern::new(c.clone(), vec![(-1.0, 100.0)], 1.0).is_err());
+        assert!(FragmentPattern::new(c, vec![(10.0, -5.0)], 1.0).is_err());
+    }
+
+    #[test]
+    fn all_fragments_within_mass_range() {
+        // No fragment can exceed the molecular mass by more than isotope room.
+        for pattern in &GasLibrary::standard() {
+            for &(mz, _) in pattern.sticks() {
+                assert!(
+                    mz <= pattern.compound().molar_mass() + 2.5,
+                    "{} fragment {mz} above molar mass",
+                    pattern.compound().name()
+                );
+            }
+        }
+    }
+}

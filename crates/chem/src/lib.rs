@@ -1,0 +1,47 @@
+//! Chemical domain model for the `spectro-ai` workspace.
+//!
+//! Provides the chemistry both use cases of the paper are built on:
+//!
+//! * [`Compound`] and [`Mixture`] — substances and their fractional
+//!   composition (the labels the neural networks predict);
+//! * [`fragmentation`] — an electron-ionization fragmentation library for
+//!   the process gases measured by the miniaturized mass spectrometer;
+//! * [`nmr`] — Lorentz–Gauss pure-component peak tables for the compounds
+//!   of the paper's lithiation reaction (p-toluidine, o-FNB, Li-HMDS,
+//!   MNDPA);
+//! * [`reaction`] — the lithiation reaction model, its stoichiometry and
+//!   the design-of-experiments operating points of the flow reactor.
+//!
+//! # Example
+//!
+//! ```
+//! use chem::fragmentation::GasLibrary;
+//! use chem::Mixture;
+//!
+//! # fn main() -> Result<(), chem::ChemError> {
+//! let lib = GasLibrary::standard();
+//! let mix = Mixture::from_fractions(vec![
+//!     ("N2".into(), 0.8),
+//!     ("O2".into(), 0.2),
+//! ])?;
+//! assert!(lib.get("N2").is_some());
+//! assert_eq!(mix.fraction_of("N2"), 0.8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compound;
+pub mod formula;
+pub mod fragmentation;
+pub mod mixture;
+pub mod nmr;
+pub mod reaction;
+
+mod error;
+
+pub use compound::Compound;
+pub use error::ChemError;
+pub use mixture::Mixture;

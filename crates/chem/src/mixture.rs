@@ -1,0 +1,259 @@
+//! Mixtures: fractional compositions of named compounds.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ChemError;
+
+/// How close to 1.0 the fractions of a [`Mixture`] must sum.
+pub const FRACTION_TOLERANCE: f64 = 1e-6;
+
+/// A mixture of named compounds with fractions that sum to one.
+///
+/// The paper's networks output "the percentages of the individual
+/// substances in the sample" — i.e. exactly the fraction vector stored
+/// here. Order is preserved: the fraction vector extracted via
+/// [`Mixture::fractions_for`] matches the network's output layout.
+///
+/// # Example
+///
+/// ```
+/// use chem::Mixture;
+///
+/// # fn main() -> Result<(), chem::ChemError> {
+/// let mix = Mixture::from_fractions(vec![
+///     ("N2".into(), 0.78),
+///     ("O2".into(), 0.21),
+///     ("Ar".into(), 0.01),
+/// ])?;
+/// assert_eq!(mix.fractions_for(&["Ar", "N2"]), vec![0.01, 0.78]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mixture {
+    parts: Vec<(String, f64)>,
+}
+
+impl Mixture {
+    /// Builds a mixture from `(compound name, fraction)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::InvalidFraction`] if any fraction is negative
+    /// or non-finite, a name repeats, or the fractions do not sum to one
+    /// within [`FRACTION_TOLERANCE`]; [`ChemError::Empty`] for no parts.
+    pub fn from_fractions(parts: Vec<(String, f64)>) -> Result<Self, ChemError> {
+        if parts.is_empty() {
+            return Err(ChemError::Empty);
+        }
+        let mut sum = 0.0;
+        for (name, frac) in &parts {
+            if !frac.is_finite() || *frac < 0.0 {
+                return Err(ChemError::InvalidFraction(format!(
+                    "fraction of {name} is {frac}"
+                )));
+            }
+            if parts.iter().filter(|(n, _)| n == name).count() > 1 {
+                return Err(ChemError::InvalidFraction(format!(
+                    "compound {name} appears more than once"
+                )));
+            }
+            sum += frac;
+        }
+        if (sum - 1.0).abs() > FRACTION_TOLERANCE {
+            return Err(ChemError::InvalidFraction(format!(
+                "fractions sum to {sum}, expected 1.0"
+            )));
+        }
+        Ok(Self { parts })
+    }
+
+    /// Builds a mixture from raw non-negative weights, normalizing them to
+    /// sum to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::InvalidFraction`] if any weight is negative or
+    /// non-finite, or all weights are zero; [`ChemError::Empty`] for no
+    /// parts.
+    pub fn from_weights(parts: Vec<(String, f64)>) -> Result<Self, ChemError> {
+        if parts.is_empty() {
+            return Err(ChemError::Empty);
+        }
+        let mut total = 0.0;
+        for (name, w) in &parts {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(ChemError::InvalidFraction(format!(
+                    "weight of {name} is {w}"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(ChemError::InvalidFraction("all weights are zero".into()));
+        }
+        let parts = parts
+            .into_iter()
+            .map(|(name, w)| (name, w / total))
+            .collect();
+        Self::from_fractions(parts)
+    }
+
+    /// A pure sample of a single compound.
+    pub fn pure(name: impl Into<String>) -> Self {
+        Self {
+            parts: vec![(name.into(), 1.0)],
+        }
+    }
+
+    /// Draws a random mixture of the named compounds, uniform on the
+    /// simplex (via normalized exponentials). This is the concentration
+    /// sampler behind the "arbitrary concentrations" of Tool 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::Empty`] if `names` is empty.
+    pub fn random<R: Rng + ?Sized>(names: &[&str], rng: &mut R) -> Result<Self, ChemError> {
+        if names.is_empty() {
+            return Err(ChemError::Empty);
+        }
+        let weights: Vec<(String, f64)> = names
+            .iter()
+            .map(|&n| {
+                let u: f64 = rng.gen::<f64>().max(1e-300);
+                (n.to_string(), -u.ln())
+            })
+            .collect();
+        Self::from_weights(weights)
+    }
+
+    /// The `(name, fraction)` pairs in insertion order.
+    pub fn parts(&self) -> &[(String, f64)] {
+        &self.parts
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Returns `true` if the mixture has no components (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Iterator over `(name, fraction)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (String, f64)> {
+        self.parts.iter()
+    }
+
+    /// Fraction of the named compound (`0.0` if absent).
+    pub fn fraction_of(&self, name: &str) -> f64 {
+        self.parts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |&(_, f)| f)
+    }
+
+    /// Extracts fractions in the order given by `names` (absent compounds
+    /// yield `0.0`). This fixes the label layout for network training.
+    pub fn fractions_for(&self, names: &[&str]) -> Vec<f64> {
+        names.iter().map(|&n| self.fraction_of(n)).collect()
+    }
+
+    /// Component names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.parts.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Mixture {
+    type Item = &'a (String, f64);
+    type IntoIter = std::slice::Iter<'a, (String, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.parts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn valid_mixture_constructs() {
+        let m = Mixture::from_fractions(vec![("A".into(), 0.4), ("B".into(), 0.6)]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.fraction_of("A"), 0.4);
+        assert_eq!(m.fraction_of("C"), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_sum() {
+        assert!(Mixture::from_fractions(vec![("A".into(), 0.5), ("B".into(), 0.6)]).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_and_nan() {
+        assert!(Mixture::from_fractions(vec![("A".into(), -0.1), ("B".into(), 1.1)]).is_err());
+        assert!(Mixture::from_fractions(vec![("A".into(), f64::NAN), ("B".into(), 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert!(Mixture::from_fractions(vec![("A".into(), 0.5), ("A".into(), 0.5)]).is_err());
+        assert_eq!(Mixture::from_fractions(vec![]), Err(ChemError::Empty));
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let m = Mixture::from_weights(vec![("A".into(), 2.0), ("B".into(), 6.0)]).unwrap();
+        assert!((m.fraction_of("A") - 0.25).abs() < 1e-12);
+        assert!((m.fraction_of("B") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fail() {
+        assert!(Mixture::from_weights(vec![("A".into(), 0.0), ("B".into(), 0.0)]).is_err());
+    }
+
+    #[test]
+    fn pure_is_single_unit_fraction() {
+        let m = Mixture::pure("Ar");
+        assert_eq!(m.fraction_of("Ar"), 1.0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn random_mixtures_sum_to_one() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let m = Mixture::random(&["A", "B", "C", "D"], &mut rng).unwrap();
+            let sum: f64 = m.parts().iter().map(|&(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(m.parts().iter().all(|&(_, f)| f >= 0.0));
+        }
+    }
+
+    #[test]
+    fn random_of_empty_fails() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(Mixture::random(&[], &mut rng), Err(ChemError::Empty));
+    }
+
+    #[test]
+    fn fractions_for_gives_label_layout() {
+        let m = Mixture::from_fractions(vec![("N2".into(), 0.7), ("O2".into(), 0.3)]).unwrap();
+        assert_eq!(m.fractions_for(&["O2", "H2O", "N2"]), vec![0.3, 0.0, 0.7]);
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let m = Mixture::from_fractions(vec![("B".into(), 0.5), ("A".into(), 0.5)]).unwrap();
+        let names: Vec<&str> = m.names();
+        assert_eq!(names, vec!["B", "A"]);
+    }
+}

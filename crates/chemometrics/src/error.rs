@@ -1,0 +1,61 @@
+use std::fmt;
+
+use spectrum::SpectrumError;
+
+/// Error type for the chemometric algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChemometricsError {
+    /// Input matrices were empty or inconsistent.
+    InvalidInput(String),
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An underlying linear-algebra or spectrum operation failed.
+    Spectrum(SpectrumError),
+}
+
+impl fmt::Display for ChemometricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChemometricsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ChemometricsError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            ChemometricsError::Spectrum(err) => write!(f, "spectrum error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ChemometricsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChemometricsError::Spectrum(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpectrumError> for ChemometricsError {
+    fn from(err: SpectrumError) -> Self {
+        ChemometricsError::Spectrum(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let err = ChemometricsError::from(SpectrumError::Singular);
+        assert!(err.to_string().contains("singular"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&ChemometricsError::NoConvergence {
+            iterations: 5
+        })
+        .is_none());
+    }
+}

@@ -1,0 +1,317 @@
+//! Indirect Hard Modelling (IHM).
+//!
+//! Paper §III.B.1: "Based on a physical assumption (hard model), each
+//! component can be described as a pure component, which is done with a
+//! series of Lorentz-Gauss functions. With IHM, these pure components can
+//! be found in the total spectrum of a mixture by fitting algorithms and
+//! their intensities and thus concentrations can be determined, although
+//! individual signals are allowed to shift or broaden."
+//!
+//! The fit is a separable least-squares problem: per-component shift and
+//! broadening are optimized by Levenberg–Marquardt while, for every trial
+//! of those nonlinear parameters, the concentrations are recovered by
+//! non-negative linear least squares on the rendered component basis.
+
+use chem::nmr::NmrComponent;
+use spectrum::linalg::{nnls, Matrix};
+use spectrum::{ContinuousSpectrum, UniformAxis};
+
+use crate::lm::{levenberg_marquardt, LmOptions};
+use crate::ChemometricsError;
+
+/// Configuration of the IHM fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IhmConfig {
+    /// Maximum per-component chemical-shift offset (ppm).
+    pub max_shift: f64,
+    /// Allowed line-broadening factor range.
+    pub broaden_bounds: (f64, f64),
+    /// Levenberg–Marquardt options for the nonlinear stage.
+    pub lm: LmOptions,
+}
+
+impl Default for IhmConfig {
+    fn default() -> Self {
+        Self {
+            max_shift: 0.06,
+            broaden_bounds: (0.7, 1.6),
+            lm: LmOptions {
+                max_iterations: 25,
+                jacobian_step: 1e-4,
+                ..LmOptions::default()
+            },
+        }
+    }
+}
+
+/// Result of one IHM analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IhmFit {
+    /// Recovered concentrations, one per component (model units).
+    pub concentrations: Vec<f64>,
+    /// Fitted per-component shifts (ppm).
+    pub shifts: Vec<f64>,
+    /// Fitted per-component broadening factors.
+    pub broadenings: Vec<f64>,
+    /// Root-mean-square residual of the final fit.
+    pub residual_rms: f64,
+    /// Levenberg–Marquardt iterations used.
+    pub iterations: usize,
+}
+
+/// An IHM analyzer bound to a component library and spectral axis.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct IhmAnalyzer {
+    components: Vec<NmrComponent>,
+    axis: UniformAxis,
+    config: IhmConfig,
+}
+
+impl IhmAnalyzer {
+    /// Creates an analyzer with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] if `components` is
+    /// empty.
+    pub fn new(
+        components: Vec<NmrComponent>,
+        axis: UniformAxis,
+    ) -> Result<Self, ChemometricsError> {
+        Self::with_config(components, axis, IhmConfig::default())
+    }
+
+    /// Creates an analyzer with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] if `components` is
+    /// empty or the configuration is inconsistent.
+    pub fn with_config(
+        components: Vec<NmrComponent>,
+        axis: UniformAxis,
+        config: IhmConfig,
+    ) -> Result<Self, ChemometricsError> {
+        if components.is_empty() {
+            return Err(ChemometricsError::InvalidInput(
+                "need at least one component model".into(),
+            ));
+        }
+        if !(config.max_shift >= 0.0)
+            || !(config.broaden_bounds.0 > 0.0)
+            || config.broaden_bounds.0 > config.broaden_bounds.1
+        {
+            return Err(ChemometricsError::InvalidInput(
+                "invalid shift/broadening bounds".into(),
+            ));
+        }
+        Ok(Self {
+            components,
+            axis,
+            config,
+        })
+    }
+
+    /// The component library (order defines the concentration layout).
+    pub fn components(&self) -> &[NmrComponent] {
+        &self.components
+    }
+
+    /// Component names in concentration order.
+    pub fn component_names(&self) -> Vec<&str> {
+        self.components.iter().map(|c| c.name()).collect()
+    }
+
+    /// Renders the unit-concentration basis for the given nonlinear
+    /// parameters (`theta = [shift_0, broaden_0, shift_1, ...]`) and
+    /// solves the non-negative least-squares problem for concentrations.
+    fn solve_linear(
+        &self,
+        data: &[f64],
+        theta: &[f64],
+    ) -> Result<(Vec<f64>, Vec<f64>), ChemometricsError> {
+        let n = self.axis.len();
+        let c = self.components.len();
+        let mut basis = Matrix::zeros(n, c);
+        for (j, component) in self.components.iter().enumerate() {
+            let shift = theta[2 * j];
+            let broaden = theta[2 * j + 1];
+            let rendered = component.render(&self.axis, 1.0, shift, broaden)?;
+            for (i, &v) in rendered.intensities().iter().enumerate() {
+                basis.set(i, j, v);
+            }
+        }
+        let conc = nnls(&basis, data, 8)?;
+        let model = basis.matvec(&conc);
+        let residuals: Vec<f64> = model.iter().zip(data).map(|(m, d)| m - d).collect();
+        Ok((conc, residuals))
+    }
+
+    /// Fits the hard model to `spectrum` and returns the recovered
+    /// concentrations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] if the spectrum is not
+    /// on the analyzer's axis, or propagates solver errors.
+    pub fn fit(&self, spectrum: &ContinuousSpectrum) -> Result<IhmFit, ChemometricsError> {
+        if spectrum.axis() != &self.axis {
+            return Err(ChemometricsError::InvalidInput(
+                "spectrum axis does not match analyzer axis".into(),
+            ));
+        }
+        let data = spectrum.intensities().to_vec();
+        let c = self.components.len();
+        let initial: Vec<f64> = (0..c).flat_map(|_| [0.0, 1.0]).collect();
+        let mut lower = Vec::with_capacity(2 * c);
+        let mut upper = Vec::with_capacity(2 * c);
+        for _ in 0..c {
+            lower.push(-self.config.max_shift);
+            lower.push(self.config.broaden_bounds.0);
+            upper.push(self.config.max_shift);
+            upper.push(self.config.broaden_bounds.1);
+        }
+        let options = LmOptions {
+            lower_bounds: lower,
+            upper_bounds: upper,
+            ..self.config.lm.clone()
+        };
+
+        let result = levenberg_marquardt(
+            |theta| match self.solve_linear(&data, theta) {
+                Ok((_, residuals)) => residuals,
+                // An invalid trial point (e.g. numerically broken basis)
+                // is penalized with huge residuals instead of aborting.
+                Err(_) => vec![1e6; data.len()],
+            },
+            &initial,
+            &options,
+        )?;
+
+        let (concentrations, residuals) = self.solve_linear(&data, &result.parameters)?;
+        let rms = (residuals.iter().map(|r| r * r).sum::<f64>() / residuals.len() as f64).sqrt();
+        let shifts = (0..c).map(|j| result.parameters[2 * j]).collect();
+        let broadenings = (0..c).map(|j| result.parameters[2 * j + 1]).collect();
+        Ok(IhmFit {
+            concentrations,
+            shifts,
+            broadenings,
+            residual_rms: rms,
+            iterations: result.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chem::nmr::lithiation_components;
+
+    fn axis() -> UniformAxis {
+        UniformAxis::new(0.0, 12.0 / 1699.0, 1700).unwrap()
+    }
+
+    fn mixture(
+        concs: &[f64],
+        shifts: &[f64],
+        broadens: &[f64],
+    ) -> ContinuousSpectrum {
+        let comps = lithiation_components();
+        let ax = axis();
+        let mut out = ContinuousSpectrum::zeros(ax);
+        for (i, comp) in comps.iter().enumerate() {
+            let rendered = comp.render(&ax, concs[i], shifts[i], broadens[i]).unwrap();
+            out.add_assign(&rendered).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_clean_concentrations() {
+        let truth = [0.35, 0.3, 0.25, 0.1];
+        let spec = mixture(&truth, &[0.0; 4], &[1.0; 4]);
+        let analyzer = IhmAnalyzer::new(lithiation_components(), axis()).unwrap();
+        let fit = analyzer.fit(&spec).unwrap();
+        for (found, expect) in fit.concentrations.iter().zip(&truth) {
+            assert!(
+                (found - expect).abs() < 0.01,
+                "found {found}, expect {expect}"
+            );
+        }
+        assert!(fit.residual_rms < 1e-3);
+    }
+
+    #[test]
+    fn tolerates_peak_shifts() {
+        let truth = [0.2, 0.4, 0.3, 0.1];
+        let shifts = [0.03, -0.02, 0.04, -0.03];
+        let spec = mixture(&truth, &shifts, &[1.0; 4]);
+        let analyzer = IhmAnalyzer::new(lithiation_components(), axis()).unwrap();
+        let fit = analyzer.fit(&spec).unwrap();
+        for (found, expect) in fit.concentrations.iter().zip(&truth) {
+            assert!(
+                (found - expect).abs() < 0.03,
+                "found {found}, expect {expect}"
+            );
+        }
+        // Fitted shifts should move in the right direction.
+        for (fitted, actual) in fit.shifts.iter().zip(&shifts) {
+            assert!((fitted - actual).abs() < 0.03, "shift {fitted} vs {actual}");
+        }
+    }
+
+    #[test]
+    fn tolerates_broadening() {
+        let truth = [0.25, 0.25, 0.4, 0.1];
+        let broadens = [1.2, 0.9, 1.3, 1.1];
+        let spec = mixture(&truth, &[0.0; 4], &broadens);
+        let analyzer = IhmAnalyzer::new(lithiation_components(), axis()).unwrap();
+        let fit = analyzer.fit(&spec).unwrap();
+        for (found, expect) in fit.concentrations.iter().zip(&truth) {
+            assert!(
+                (found - expect).abs() < 0.04,
+                "found {found}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_component_stays_near_zero() {
+        let truth = [0.5, 0.5, 0.0, 0.0];
+        let spec = mixture(&truth, &[0.0; 4], &[1.0; 4]);
+        let analyzer = IhmAnalyzer::new(lithiation_components(), axis()).unwrap();
+        let fit = analyzer.fit(&spec).unwrap();
+        assert!(fit.concentrations[2] < 0.02, "{:?}", fit.concentrations);
+        assert!(fit.concentrations[3] < 0.02);
+        assert!(fit.concentrations.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn rejects_wrong_axis() {
+        let analyzer = IhmAnalyzer::new(lithiation_components(), axis()).unwrap();
+        let other_axis = UniformAxis::new(0.0, 0.01, 100).unwrap();
+        let spec = ContinuousSpectrum::zeros(other_axis);
+        assert!(analyzer.fit(&spec).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_components_and_bad_config() {
+        assert!(IhmAnalyzer::new(vec![], axis()).is_err());
+        let bad = IhmConfig {
+            broaden_bounds: (2.0, 1.0),
+            ..IhmConfig::default()
+        };
+        assert!(IhmAnalyzer::with_config(lithiation_components(), axis(), bad).is_err());
+    }
+
+    #[test]
+    fn component_names_follow_order() {
+        let analyzer = IhmAnalyzer::new(lithiation_components(), axis()).unwrap();
+        assert_eq!(
+            analyzer.component_names(),
+            vec!["p-toluidine", "o-FNB", "Li-HMDS", "MNDPA"]
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Principal component analysis (NIPALS).
+
+use spectrum::linalg::{dot, norm, Matrix};
+
+use crate::ChemometricsError;
+
+/// A fitted PCA model: mean vector, loadings and per-component explained
+/// variance.
+///
+/// # Example
+///
+/// ```
+/// use chemometrics::pca::Pca;
+///
+/// # fn main() -> Result<(), chemometrics::ChemometricsError> {
+/// // Points on the line y = 2x, plus tiny jitter on the 2nd axis.
+/// let data: Vec<Vec<f64>> = (0..20)
+///     .map(|i| vec![i as f64, 2.0 * i as f64 + if i % 2 == 0 { 0.01 } else { -0.01 }])
+///     .collect();
+/// let pca = Pca::fit(&data, 2)?;
+/// // First component captures essentially all variance.
+/// assert!(pca.explained_variance_ratio()[0] > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Loadings, one unit vector per component (rows).
+    loadings: Matrix,
+    explained_variance: Vec<f64>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits up to `n_components` principal components with NIPALS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] if the data is empty or
+    /// ragged, or `n_components` is zero.
+    pub fn fit(data: &[Vec<f64>], n_components: usize) -> Result<Self, ChemometricsError> {
+        let (rows, cols) = validate(data)?;
+        if n_components == 0 {
+            return Err(ChemometricsError::InvalidInput(
+                "need at least one component".into(),
+            ));
+        }
+        let n_components = n_components.min(cols).min(rows);
+        // Center.
+        let mut mean = vec![0.0; cols];
+        for row in data {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= rows as f64;
+        }
+        let mut x: Vec<Vec<f64>> = data
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(v, m)| v - m).collect())
+            .collect();
+        let total_variance: f64 = x
+            .iter()
+            .map(|row| row.iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            / rows as f64;
+
+        let mut loadings = Matrix::zeros(n_components, cols);
+        let mut explained = Vec::with_capacity(n_components);
+        for comp in 0..n_components {
+            // NIPALS: start from the column with the largest variance.
+            let mut p = vec![0.0; cols];
+            let start_col = (0..cols)
+                .max_by(|&a, &b| {
+                    let va: f64 = x.iter().map(|r| r[a] * r[a]).sum();
+                    let vb: f64 = x.iter().map(|r| r[b] * r[b]).sum();
+                    va.partial_cmp(&vb).expect("finite")
+                })
+                .expect("cols > 0");
+            let mut t: Vec<f64> = x.iter().map(|r| r[start_col]).collect();
+            if norm(&t) < 1e-12 {
+                // Remaining variance is zero.
+                explained.push(0.0);
+                continue;
+            }
+            for _ in 0..500 {
+                // p = Xᵀ t / (tᵀ t)
+                let tt = dot(&t, &t).max(1e-300);
+                for (j, pj) in p.iter_mut().enumerate() {
+                    *pj = x.iter().zip(&t).map(|(r, &ti)| r[j] * ti).sum::<f64>() / tt;
+                }
+                let pn = norm(&p).max(1e-300);
+                for pj in &mut p {
+                    *pj /= pn;
+                }
+                // t = X p
+                let t_new: Vec<f64> = x.iter().map(|r| dot(r, &p)).collect();
+                let delta: f64 = t_new
+                    .iter()
+                    .zip(&t)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let scale = norm(&t_new).max(1e-300);
+                t = t_new;
+                if delta / scale < 1e-12 {
+                    break;
+                }
+            }
+            // Deflate: X <- X - t pᵀ.
+            for (row, &ti) in x.iter_mut().zip(&t) {
+                for (v, &pj) in row.iter_mut().zip(&p) {
+                    *v -= ti * pj;
+                }
+            }
+            let var = dot(&t, &t) / rows as f64;
+            explained.push(var);
+            for (j, &pj) in p.iter().enumerate() {
+                loadings.set(comp, j, pj);
+            }
+        }
+        Ok(Self {
+            mean,
+            loadings,
+            explained_variance: explained,
+            total_variance,
+        })
+    }
+
+    /// Number of fitted components.
+    pub fn n_components(&self) -> usize {
+        self.explained_variance.len()
+    }
+
+    /// The data mean used for centering.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Loading vector of component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n_components()`.
+    pub fn loading(&self, i: usize) -> &[f64] {
+        self.loadings.row(i)
+    }
+
+    /// Variance captured by each component.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let t = self.total_variance.max(1e-300);
+        self.explained_variance.iter().map(|v| v / t).collect()
+    }
+
+    /// Projects a sample onto the component scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] on width mismatch.
+    pub fn transform(&self, sample: &[f64]) -> Result<Vec<f64>, ChemometricsError> {
+        if sample.len() != self.mean.len() {
+            return Err(ChemometricsError::InvalidInput(format!(
+                "sample width {} vs model width {}",
+                sample.len(),
+                self.mean.len()
+            )));
+        }
+        let centered: Vec<f64> = sample.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        Ok((0..self.n_components())
+            .map(|i| dot(&centered, self.loadings.row(i)))
+            .collect())
+    }
+
+    /// Reconstructs a sample from its scores (inverse transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] on width mismatch.
+    pub fn inverse_transform(&self, scores: &[f64]) -> Result<Vec<f64>, ChemometricsError> {
+        if scores.len() != self.n_components() {
+            return Err(ChemometricsError::InvalidInput(format!(
+                "scores width {} vs components {}",
+                scores.len(),
+                self.n_components()
+            )));
+        }
+        let mut out = self.mean.clone();
+        for (i, &s) in scores.iter().enumerate() {
+            for (o, &l) in out.iter_mut().zip(self.loadings.row(i)) {
+                *o += s * l;
+            }
+        }
+        Ok(out)
+    }
+}
+
+pub(crate) fn validate(data: &[Vec<f64>]) -> Result<(usize, usize), ChemometricsError> {
+    if data.is_empty() {
+        return Err(ChemometricsError::InvalidInput("no samples".into()));
+    }
+    let cols = data[0].len();
+    if cols == 0 {
+        return Err(ChemometricsError::InvalidInput("zero-width samples".into()));
+    }
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != cols {
+            return Err(ChemometricsError::InvalidInput(format!(
+                "row {i} has width {} (expected {cols})",
+                row.len()
+            )));
+        }
+    }
+    Ok((data.len(), cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Vec<Vec<f64>> {
+        (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                vec![t, 2.0 * t, -t]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_captures_a_line() {
+        let pca = Pca::fit(&line_data(), 3).unwrap();
+        let ratios = pca.explained_variance_ratio();
+        assert!(ratios[0] > 0.999, "{ratios:?}");
+    }
+
+    #[test]
+    fn loadings_are_unit_norm_and_orthogonal() {
+        // Two independent directions + noise-free third.
+        let data: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let a = (i % 6) as f64;
+                let b = (i / 6) as f64;
+                vec![a + b, a - b, 2.0 * a, b]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let p0 = pca.loading(0);
+        let p1 = pca.loading(1);
+        assert!((norm(p0) - 1.0).abs() < 1e-9);
+        assert!((norm(p1) - 1.0).abs() < 1e-9);
+        assert!(dot(p0, p1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip_on_full_rank() {
+        let data = line_data();
+        let pca = Pca::fit(&data, 3).unwrap();
+        let sample = &data[7];
+        let scores = pca.transform(sample).unwrap();
+        let back = pca.inverse_transform(&scores).unwrap();
+        for (a, b) in back.iter().zip(sample) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(Pca::fit(&[], 1).is_err());
+        assert!(Pca::fit(&[vec![]], 1).is_err());
+        assert!(Pca::fit(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
+        assert!(Pca::fit(&line_data(), 0).is_err());
+    }
+
+    #[test]
+    fn transform_checks_width() {
+        let pca = Pca::fit(&line_data(), 2).unwrap();
+        assert!(pca.transform(&[1.0]).is_err());
+        assert!(pca.inverse_transform(&[1.0, 2.0, 3.0, 4.0]).is_err());
+    }
+
+    #[test]
+    fn components_capped_by_rank() {
+        let pca = Pca::fit(&line_data(), 10).unwrap();
+        assert!(pca.n_components() <= 3);
+    }
+
+    #[test]
+    fn mean_is_subtracted() {
+        let data: Vec<Vec<f64>> = vec![vec![10.0, 20.0], vec![12.0, 24.0], vec![14.0, 28.0]];
+        let pca = Pca::fit(&data, 1).unwrap();
+        assert!((pca.mean()[0] - 12.0).abs() < 1e-12);
+        assert!((pca.mean()[1] - 24.0).abs() < 1e-12);
+        // Center point projects to ~0.
+        let scores = pca.transform(&[12.0, 24.0]).unwrap();
+        assert!(scores[0].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,362 @@
+//! Partial least squares regression (NIPALS PLS2).
+//!
+//! PLS is the workhorse of classical quantitative spectroscopy (paper
+//! §II.C) and serves as a multivariate baseline against the ANN pipelines:
+//! it regresses concentration vectors on spectra through a small number of
+//! latent variables.
+
+use spectrum::linalg::{dot, norm, Matrix};
+
+use crate::pca::validate;
+use crate::ChemometricsError;
+
+/// A fitted PLS2 regression model.
+///
+/// # Example
+///
+/// ```
+/// use chemometrics::pls::Pls;
+///
+/// # fn main() -> Result<(), chemometrics::ChemometricsError> {
+/// // y = x0 + 2*x1 with three informative inputs.
+/// let x: Vec<Vec<f64>> = (0..30)
+///     .map(|i| vec![(i % 5) as f64, (i / 5) as f64, 1.0])
+///     .collect();
+/// let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] + 2.0 * r[1]]).collect();
+/// let model = Pls::fit(&x, &y, 2)?;
+/// let pred = model.predict(&[3.0, 4.0, 1.0])?;
+/// assert!((pred[0] - 11.0).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pls {
+    x_mean: Vec<f64>,
+    y_mean: Vec<f64>,
+    /// Regression coefficients, `x_width × y_width`.
+    coefficients: Matrix,
+    n_components: usize,
+}
+
+impl Pls {
+    /// Fits a PLS2 model with `n_components` latent variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] if the matrices are
+    /// empty, ragged, of different sample counts, or `n_components` is
+    /// zero.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        n_components: usize,
+    ) -> Result<Self, ChemometricsError> {
+        let (rows, x_cols) = validate(x)?;
+        let (y_rows, y_cols) = validate(y)?;
+        if rows != y_rows {
+            return Err(ChemometricsError::InvalidInput(format!(
+                "{rows} x-samples vs {y_rows} y-samples"
+            )));
+        }
+        if n_components == 0 {
+            return Err(ChemometricsError::InvalidInput(
+                "need at least one component".into(),
+            ));
+        }
+        let n_components = n_components.min(x_cols).min(rows.saturating_sub(1).max(1));
+
+        // Center both blocks.
+        let x_mean = column_means(x, rows, x_cols);
+        let y_mean = column_means(y, rows, y_cols);
+        let mut ex: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| r.iter().zip(&x_mean).map(|(v, m)| v - m).collect())
+            .collect();
+        let mut fy: Vec<Vec<f64>> = y
+            .iter()
+            .map(|r| r.iter().zip(&y_mean).map(|(v, m)| v - m).collect())
+            .collect();
+
+        // Collected loadings for the coefficient computation.
+        let mut w_mat = Matrix::zeros(n_components, x_cols); // weights
+        let mut p_mat = Matrix::zeros(n_components, x_cols); // x loadings
+        let mut q_mat = Matrix::zeros(n_components, y_cols); // y loadings
+        let mut fitted = 0usize;
+
+        for comp in 0..n_components {
+            // u = column of F with largest variance.
+            let start = (0..y_cols)
+                .max_by(|&a, &b| {
+                    let va: f64 = fy.iter().map(|r| r[a] * r[a]).sum();
+                    let vb: f64 = fy.iter().map(|r| r[b] * r[b]).sum();
+                    va.partial_cmp(&vb).expect("finite")
+                })
+                .expect("y has columns");
+            let mut u: Vec<f64> = fy.iter().map(|r| r[start]).collect();
+            if norm(&u) < 1e-12 {
+                break;
+            }
+            let mut w = vec![0.0; x_cols];
+            let mut t = vec![0.0; rows];
+            let mut q = vec![0.0; y_cols];
+            for _ in 0..500 {
+                // w = Eᵀ u / ||...||
+                let uu = dot(&u, &u).max(1e-300);
+                for (j, wj) in w.iter_mut().enumerate() {
+                    *wj = ex.iter().zip(&u).map(|(r, &ui)| r[j] * ui).sum::<f64>() / uu;
+                }
+                let wn = norm(&w).max(1e-300);
+                for wj in &mut w {
+                    *wj /= wn;
+                }
+                // t = E w
+                for (ti, r) in t.iter_mut().zip(&ex) {
+                    *ti = dot(r, &w);
+                }
+                // q = Fᵀ t / (tᵀ t)
+                let tt = dot(&t, &t).max(1e-300);
+                for (j, qj) in q.iter_mut().enumerate() {
+                    *qj = fy.iter().zip(&t).map(|(r, &ti)| r[j] * ti).sum::<f64>() / tt;
+                }
+                // u = F q / (qᵀ q)
+                let qq = dot(&q, &q).max(1e-300);
+                let u_new: Vec<f64> = fy.iter().map(|r| dot(r, &q) / qq).collect();
+                let delta: f64 = u_new
+                    .iter()
+                    .zip(&u)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let scale = norm(&u_new).max(1e-300);
+                u = u_new;
+                if delta / scale < 1e-12 {
+                    break;
+                }
+            }
+            // x loadings p = Eᵀ t / (tᵀ t); deflate.
+            let tt = dot(&t, &t).max(1e-300);
+            let mut p = vec![0.0; x_cols];
+            for (j, pj) in p.iter_mut().enumerate() {
+                *pj = ex.iter().zip(&t).map(|(r, &ti)| r[j] * ti).sum::<f64>() / tt;
+            }
+            for (row, &ti) in ex.iter_mut().zip(&t) {
+                for (v, &pj) in row.iter_mut().zip(&p) {
+                    *v -= ti * pj;
+                }
+            }
+            for (row, &ti) in fy.iter_mut().zip(&t) {
+                for (v, &qj) in row.iter_mut().zip(&q) {
+                    *v -= ti * qj;
+                }
+            }
+            for j in 0..x_cols {
+                w_mat.set(comp, j, w[j]);
+                p_mat.set(comp, j, p[j]);
+            }
+            for j in 0..y_cols {
+                q_mat.set(comp, j, q[j]);
+            }
+            fitted = comp + 1;
+        }
+        if fitted == 0 {
+            return Err(ChemometricsError::NoConvergence { iterations: 0 });
+        }
+
+        // B = W (Pᵀ W)⁻¹ Qᵀ  — computed on the fitted sub-blocks.
+        let w_used = submatrix(&w_mat, fitted, x_cols);
+        let p_used = submatrix(&p_mat, fitted, x_cols);
+        let q_used = submatrix(&q_mat, fitted, y_cols);
+        // (P Wᵀ) is fitted × fitted: entry (i, j) = p_i · w_j.
+        let mut pw = Matrix::zeros(fitted, fitted);
+        for i in 0..fitted {
+            for j in 0..fitted {
+                pw.set(i, j, dot(p_used.row(i), w_used.row(j)));
+            }
+        }
+        // Solve (P Wᵀ) A = Q for A (fitted × y_cols), then B = Wᵀ A.
+        let mut a = Matrix::zeros(fitted, y_cols);
+        for col in 0..y_cols {
+            let rhs: Vec<f64> = (0..fitted).map(|i| q_used.get(i, col)).collect();
+            let sol = spectrum::linalg::solve(&pw, &rhs)?;
+            for (i, &v) in sol.iter().enumerate() {
+                a.set(i, col, v);
+            }
+        }
+        let mut coefficients = Matrix::zeros(x_cols, y_cols);
+        for j in 0..x_cols {
+            for col in 0..y_cols {
+                let mut acc = 0.0;
+                for i in 0..fitted {
+                    acc += w_used.get(i, j) * a.get(i, col);
+                }
+                coefficients.set(j, col, acc);
+            }
+        }
+
+        Ok(Self {
+            x_mean,
+            y_mean,
+            coefficients,
+            n_components: fitted,
+        })
+    }
+
+    /// Number of latent variables actually fitted.
+    pub fn n_components(&self) -> usize {
+        self.n_components
+    }
+
+    /// Predicts the response for one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] on width mismatch.
+    pub fn predict(&self, sample: &[f64]) -> Result<Vec<f64>, ChemometricsError> {
+        if sample.len() != self.x_mean.len() {
+            return Err(ChemometricsError::InvalidInput(format!(
+                "sample width {} vs model width {}",
+                sample.len(),
+                self.x_mean.len()
+            )));
+        }
+        let centered: Vec<f64> = sample.iter().zip(&self.x_mean).map(|(v, m)| v - m).collect();
+        let mut out = self.y_mean.clone();
+        for (j, &x) in centered.iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            for (col, o) in out.iter_mut().enumerate() {
+                *o += x * self.coefficients.get(j, col);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Predicts responses for many samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemometricsError::InvalidInput`] on width mismatch.
+    pub fn predict_batch(&self, samples: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ChemometricsError> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+}
+
+fn column_means(data: &[Vec<f64>], rows: usize, cols: usize) -> Vec<f64> {
+    let mut mean = vec![0.0; cols];
+    for row in data {
+        for (m, v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= rows as f64;
+    }
+    mean
+}
+
+fn submatrix(m: &Matrix, rows: usize, cols: usize) -> Matrix {
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            out.set(i, j, m.get(i, j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_problem() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        // y0 = x0 + 0.5 x2; y1 = -x1.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let a = (i % 5) as f64;
+                let b = ((i / 5) % 4) as f64;
+                let c = (i % 7) as f64;
+                vec![a, b, c]
+            })
+            .collect();
+        let y = x
+            .iter()
+            .map(|r| vec![r[0] + 0.5 * r[2], -r[1]])
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_linear_relations() {
+        let (x, y) = linear_problem();
+        let model = Pls::fit(&x, &y, 3).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let pred = model.predict(xi).unwrap();
+            assert!((pred[0] - yi[0]).abs() < 1e-6, "{pred:?} vs {yi:?}");
+            assert!((pred[1] - yi[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fewer_components_still_reasonable() {
+        let (x, y) = linear_problem();
+        let model = Pls::fit(&x, &y, 1).unwrap();
+        assert_eq!(model.n_components(), 1);
+        // One latent variable cannot be exact but should correlate.
+        let preds: Vec<f64> = x.iter().map(|xi| model.predict(xi).unwrap()[0]).collect();
+        let targets: Vec<f64> = y.iter().map(|r| r[0]).collect();
+        let r = spectrum::stats::pearson(&preds, &targets).unwrap();
+        assert!(r > 0.5, "correlation {r}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (x, y) = linear_problem();
+        assert!(Pls::fit(&[], &y, 1).is_err());
+        assert!(Pls::fit(&x, &y[..10].to_vec(), 1).is_err());
+        assert!(Pls::fit(&x, &y, 0).is_err());
+    }
+
+    #[test]
+    fn predict_checks_width() {
+        let (x, y) = linear_problem();
+        let model = Pls::fit(&x, &y, 2).unwrap();
+        assert!(model.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn predict_batch_matches_single() {
+        let (x, y) = linear_problem();
+        let model = Pls::fit(&x, &y, 2).unwrap();
+        let batch = model.predict_batch(&x[..5].to_vec()).unwrap();
+        for (row, xi) in batch.iter().zip(&x[..5]) {
+            assert_eq!(row, &model.predict(xi).unwrap());
+        }
+    }
+
+    #[test]
+    fn spectra_like_regression() {
+        // Synthetic "spectra": two overlapping Gaussian bands whose
+        // amplitudes are the concentrations to recover.
+        let axis: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let band = |center: f64, x: f64| (-((x - center) * (x - center)) / 0.8).exp();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..25 {
+            let c1 = (i % 5) as f64 / 5.0 + 0.1;
+            let c2 = (i / 5) as f64 / 5.0 + 0.1;
+            let spec: Vec<f64> = axis
+                .iter()
+                .map(|&x| c1 * band(4.0, x) + c2 * band(6.0, x))
+                .collect();
+            xs.push(spec);
+            ys.push(vec![c1, c2]);
+        }
+        let model = Pls::fit(&xs, &ys, 2).unwrap();
+        for (xi, yi) in xs.iter().zip(&ys) {
+            let pred = model.predict(xi).unwrap();
+            assert!((pred[0] - yi[0]).abs() < 0.01);
+            assert!((pred[1] - yi[1]).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Error type for the end-to-end pipelines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The MS toolchain failed.
+    Ms(ms_sim::MsSimError),
+    /// The NMR simulation failed.
+    Nmr(nmr_sim::NmrSimError),
+    /// Network construction or training failed.
+    Neural(neural::NeuralError),
+    /// A chemometric baseline failed.
+    Chemometrics(chemometrics::ChemometricsError),
+    /// A spectral operation failed.
+    Spectrum(spectrum::SpectrumError),
+    /// The datastore failed.
+    Store(datastore::StoreError),
+    /// A pipeline configuration was inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Ms(e) => write!(f, "ms toolchain: {e}"),
+            PipelineError::Nmr(e) => write!(f, "nmr simulation: {e}"),
+            PipelineError::Neural(e) => write!(f, "neural network: {e}"),
+            PipelineError::Chemometrics(e) => write!(f, "chemometrics: {e}"),
+            PipelineError::Spectrum(e) => write!(f, "spectrum: {e}"),
+            PipelineError::Store(e) => write!(f, "datastore: {e}"),
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Ms(e) => Some(e),
+            PipelineError::Nmr(e) => Some(e),
+            PipelineError::Neural(e) => Some(e),
+            PipelineError::Chemometrics(e) => Some(e),
+            PipelineError::Spectrum(e) => Some(e),
+            PipelineError::Store(e) => Some(e),
+            PipelineError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<ms_sim::MsSimError> for PipelineError {
+    fn from(e: ms_sim::MsSimError) -> Self {
+        PipelineError::Ms(e)
+    }
+}
+
+impl From<nmr_sim::NmrSimError> for PipelineError {
+    fn from(e: nmr_sim::NmrSimError) -> Self {
+        PipelineError::Nmr(e)
+    }
+}
+
+impl From<neural::NeuralError> for PipelineError {
+    fn from(e: neural::NeuralError) -> Self {
+        PipelineError::Neural(e)
+    }
+}
+
+impl From<chemometrics::ChemometricsError> for PipelineError {
+    fn from(e: chemometrics::ChemometricsError) -> Self {
+        PipelineError::Chemometrics(e)
+    }
+}
+
+impl From<spectrum::SpectrumError> for PipelineError {
+    fn from(e: spectrum::SpectrumError) -> Self {
+        PipelineError::Spectrum(e)
+    }
+}
+
+impl From<datastore::StoreError> for PipelineError {
+    fn from(e: datastore::StoreError) -> Self {
+        PipelineError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let err = PipelineError::from(spectrum::SpectrumError::Empty);
+        assert!(err.to_string().contains("spectrum"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(
+            std::error::Error::source(&PipelineError::InvalidConfig("x".into())).is_none()
+        );
+    }
+}

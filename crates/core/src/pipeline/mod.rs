@@ -1,0 +1,4 @@
+//! The paper's two end-to-end flows.
+
+pub mod ms;
+pub mod nmr;

@@ -1,0 +1,526 @@
+//! A provenance-tracked document store — the workspace's MongoDB
+//! substitute.
+//!
+//! "To handle the big amounts of data (measured samples, simulated
+//! samples, trained networks, ...) a MongoDB database is used to store
+//! the data of all tools in the presented toolflow. In addition to the
+//! actual data, all objects stored in the database also store metadata
+//! that make it possible to trace the basis on which the respective data
+//! was generated" (paper §III.A.1).
+//!
+//! [`Store`] keeps JSON documents in named collections. Every document
+//! carries [`Metadata`]: the tool that created it, free-form parameters,
+//! a logical timestamp, and *parent* document ids — enough to answer
+//! "which measurements have been used to train the simulators and which
+//! data has been used to train a specific network". Stores are in-memory
+//! by default and can be persisted to / loaded from a directory of JSON
+//! files.
+//!
+//! # Example
+//!
+//! ```
+//! use datastore::{Metadata, Store};
+//!
+//! # fn main() -> Result<(), datastore::StoreError> {
+//! let store = Store::in_memory();
+//! let measurement = store.insert(
+//!     "measurements",
+//!     Metadata::created_by("mms-prototype"),
+//!     &serde_json::json!({"mixture": "N2/O2"}),
+//! )?;
+//! let simulator = store.insert(
+//!     "simulators",
+//!     Metadata::created_by("tool-2").with_parent(measurement),
+//!     &serde_json::json!({"peak_width": 0.45}),
+//! )?;
+//! let lineage = store.lineage(simulator)?;
+//! assert_eq!(lineage, vec![simulator, measurement]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// A document identifier, unique within one [`Store`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DocumentId(u64);
+
+impl fmt::Display for DocumentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc-{}", self.0)
+    }
+}
+
+/// Error type for store operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The requested document does not exist.
+    NotFound(DocumentId),
+    /// The requested collection does not exist.
+    UnknownCollection(String),
+    /// A payload failed to (de)serialize.
+    Serde(String),
+    /// Filesystem persistence failed.
+    Io(std::io::Error),
+    /// A referenced parent id does not exist in the store.
+    DanglingParent(DocumentId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(id) => write!(f, "document {id} not found"),
+            StoreError::UnknownCollection(name) => write!(f, "unknown collection {name}"),
+            StoreError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            StoreError::Io(err) => write!(f, "io error: {err}"),
+            StoreError::DanglingParent(id) => write!(f, "parent {id} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+/// Provenance metadata attached to every document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// The tool that created this document (e.g. `"tool-2"`).
+    pub created_by: String,
+    /// Free-form key/value parameters (e.g. `samples_per_mixture=25`).
+    pub params: BTreeMap<String, String>,
+    /// Logical creation time (monotonic per store).
+    pub sequence: u64,
+    /// Documents this one was derived from.
+    pub parents: Vec<DocumentId>,
+}
+
+impl Metadata {
+    /// Metadata naming the creating tool.
+    pub fn created_by(tool: impl Into<String>) -> Self {
+        Self {
+            created_by: tool.into(),
+            params: BTreeMap::new(),
+            sequence: 0,
+            parents: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter (builder style).
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.params.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Adds a parent document (builder style).
+    #[must_use]
+    pub fn with_parent(mut self, parent: DocumentId) -> Self {
+        self.parents.push(parent);
+        self
+    }
+
+    /// Adds several parents (builder style).
+    #[must_use]
+    pub fn with_parents(mut self, parents: impl IntoIterator<Item = DocumentId>) -> Self {
+        self.parents.extend(parents);
+        self
+    }
+}
+
+/// A stored document: metadata plus a JSON payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// The document id.
+    pub id: DocumentId,
+    /// The collection the document lives in.
+    pub collection: String,
+    /// Provenance metadata.
+    pub metadata: Metadata,
+    /// The JSON payload.
+    pub payload: serde_json::Value,
+}
+
+/// The document store. Cheap to share: all methods take `&self` and the
+/// interior is guarded by an `RwLock`.
+#[derive(Debug)]
+pub struct Store {
+    documents: RwLock<BTreeMap<DocumentId, Document>>,
+    next_id: AtomicU64,
+}
+
+impl Store {
+    /// An empty in-memory store.
+    pub fn in_memory() -> Self {
+        Self {
+            documents: RwLock::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Inserts a serializable payload into `collection`, assigning the id
+    /// and logical sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Serde`] if the payload fails to serialize,
+    /// or [`StoreError::DanglingParent`] if a parent id is unknown.
+    pub fn insert<T: Serialize>(
+        &self,
+        collection: &str,
+        metadata: Metadata,
+        payload: &T,
+    ) -> Result<DocumentId, StoreError> {
+        let value = serde_json::to_value(payload).map_err(|e| StoreError::Serde(e.to_string()))?;
+        let mut documents = self.documents.write();
+        for parent in &metadata.parents {
+            if !documents.contains_key(parent) {
+                return Err(StoreError::DanglingParent(*parent));
+            }
+        }
+        let id = DocumentId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        let mut metadata = metadata;
+        metadata.sequence = id.0;
+        documents.insert(
+            id,
+            Document {
+                id,
+                collection: collection.to_string(),
+                metadata,
+                payload: value,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Fetches a document by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] if the id is unknown.
+    pub fn get(&self, id: DocumentId) -> Result<Document, StoreError> {
+        self.documents
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(StoreError::NotFound(id))
+    }
+
+    /// Deserializes a document's payload into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] or [`StoreError::Serde`].
+    pub fn get_payload<T: DeserializeOwned>(&self, id: DocumentId) -> Result<T, StoreError> {
+        let doc = self.get(id)?;
+        serde_json::from_value(doc.payload).map_err(|e| StoreError::Serde(e.to_string()))
+    }
+
+    /// All documents of a collection, in insertion order.
+    pub fn collection(&self, name: &str) -> Vec<Document> {
+        self.documents
+            .read()
+            .values()
+            .filter(|d| d.collection == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Collection names present in the store.
+    pub fn collections(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .documents
+            .read()
+            .values()
+            .map(|d| d.collection.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Documents of a collection whose metadata parameter `key` equals
+    /// `value`.
+    pub fn query(&self, collection: &str, key: &str, value: &str) -> Vec<Document> {
+        self.collection(collection)
+            .into_iter()
+            .filter(|d| d.metadata.params.get(key).map(String::as_str) == Some(value))
+            .collect()
+    }
+
+    /// Total number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.read().len()
+    }
+
+    /// Returns `true` if the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.read().is_empty()
+    }
+
+    /// The full provenance chain of a document: itself, then its parents
+    /// in breadth-first order (each id once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] if the starting id is unknown.
+    pub fn lineage(&self, id: DocumentId) -> Result<Vec<DocumentId>, StoreError> {
+        let documents = self.documents.read();
+        if !documents.contains_key(&id) {
+            return Err(StoreError::NotFound(id));
+        }
+        let mut seen = vec![id];
+        let mut queue = std::collections::VecDeque::from([id]);
+        while let Some(current) = queue.pop_front() {
+            if let Some(doc) = documents.get(&current) {
+                for &parent in &doc.metadata.parents {
+                    if !seen.contains(&parent) {
+                        seen.push(parent);
+                        queue.push_back(parent);
+                    }
+                }
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Documents that list `id` as a parent (direct descendants).
+    pub fn children(&self, id: DocumentId) -> Vec<DocumentId> {
+        self.documents
+            .read()
+            .values()
+            .filter(|d| d.metadata.parents.contains(&id))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Persists the store as one JSON file per document under `dir`
+    /// (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] or [`StoreError::Serde`].
+    pub fn save_to_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        for doc in self.documents.read().values() {
+            let path = dir.join(format!("{}.json", doc.id.0));
+            let json = serde_json::to_string_pretty(doc)
+                .map_err(|e| StoreError::Serde(e.to_string()))?;
+            std::fs::write(path, json)?;
+        }
+        Ok(())
+    }
+
+    /// Loads a store previously written by [`Store::save_to_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] or [`StoreError::Serde`].
+    pub fn load_from_dir(dir: &Path) -> Result<Self, StoreError> {
+        let store = Self::in_memory();
+        let mut max_id = 0u64;
+        let mut docs = BTreeMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.path().extension().map(|e| e != "json").unwrap_or(true) {
+                continue;
+            }
+            let json = std::fs::read_to_string(entry.path())?;
+            let doc: Document =
+                serde_json::from_str(&json).map_err(|e| StoreError::Serde(e.to_string()))?;
+            max_id = max_id.max(doc.id.0);
+            docs.insert(doc.id, doc);
+        }
+        *store.documents.write() = docs;
+        store.next_id.store(max_id + 1, Ordering::SeqCst);
+        Ok(store)
+    }
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(v: i64) -> serde_json::Value {
+        serde_json::json!({ "value": v })
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let store = Store::in_memory();
+        let id = store
+            .insert("measurements", Metadata::created_by("test"), &payload(7))
+            .unwrap();
+        let doc = store.get(id).unwrap();
+        assert_eq!(doc.collection, "measurements");
+        assert_eq!(doc.payload["value"], 7);
+        let typed: serde_json::Value = store.get_payload(id).unwrap();
+        assert_eq!(typed["value"], 7);
+    }
+
+    #[test]
+    fn missing_document_is_not_found() {
+        let store = Store::in_memory();
+        assert!(matches!(
+            store.get(DocumentId(99)),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_parent_is_rejected() {
+        let store = Store::in_memory();
+        let meta = Metadata::created_by("x").with_parent(DocumentId(42));
+        assert!(matches!(
+            store.insert("c", meta, &payload(1)),
+            Err(StoreError::DanglingParent(_))
+        ));
+    }
+
+    #[test]
+    fn lineage_walks_parents_transitively() {
+        let store = Store::in_memory();
+        let a = store
+            .insert("measurements", Metadata::created_by("mms"), &payload(1))
+            .unwrap();
+        let b = store
+            .insert(
+                "simulators",
+                Metadata::created_by("tool2").with_parent(a),
+                &payload(2),
+            )
+            .unwrap();
+        let c = store
+            .insert(
+                "datasets",
+                Metadata::created_by("tool3").with_parent(b),
+                &payload(3),
+            )
+            .unwrap();
+        let d = store
+            .insert(
+                "networks",
+                Metadata::created_by("tool4").with_parents([c, a]),
+                &payload(4),
+            )
+            .unwrap();
+        let lineage = store.lineage(d).unwrap();
+        assert_eq!(lineage[0], d);
+        assert!(lineage.contains(&a));
+        assert!(lineage.contains(&b));
+        assert!(lineage.contains(&c));
+        assert_eq!(lineage.len(), 4);
+    }
+
+    #[test]
+    fn children_finds_descendants() {
+        let store = Store::in_memory();
+        let a = store
+            .insert("m", Metadata::created_by("x"), &payload(1))
+            .unwrap();
+        let b = store
+            .insert("s", Metadata::created_by("y").with_parent(a), &payload(2))
+            .unwrap();
+        assert_eq!(store.children(a), vec![b]);
+        assert!(store.children(b).is_empty());
+    }
+
+    #[test]
+    fn query_filters_by_param() {
+        let store = Store::in_memory();
+        store
+            .insert(
+                "networks",
+                Metadata::created_by("tool4").with_param("activation", "selu"),
+                &payload(1),
+            )
+            .unwrap();
+        store
+            .insert(
+                "networks",
+                Metadata::created_by("tool4").with_param("activation", "relu"),
+                &payload(2),
+            )
+            .unwrap();
+        let selu = store.query("networks", "activation", "selu");
+        assert_eq!(selu.len(), 1);
+        assert_eq!(selu[0].payload["value"], 1);
+    }
+
+    #[test]
+    fn collections_are_listed() {
+        let store = Store::in_memory();
+        store
+            .insert("b", Metadata::created_by("x"), &payload(1))
+            .unwrap();
+        store
+            .insert("a", Metadata::created_by("x"), &payload(2))
+            .unwrap();
+        assert_eq!(store.collections(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("spectroai-store-{}", std::process::id()));
+        let store = Store::in_memory();
+        let a = store
+            .insert("m", Metadata::created_by("x").with_param("k", "v"), &payload(1))
+            .unwrap();
+        let b = store
+            .insert("s", Metadata::created_by("y").with_parent(a), &payload(2))
+            .unwrap();
+        store.save_to_dir(&dir).unwrap();
+        let loaded = Store::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(a).unwrap().payload["value"], 1);
+        assert_eq!(loaded.lineage(b).unwrap(), vec![b, a]);
+        // New inserts do not collide with loaded ids.
+        let c = loaded
+            .insert("m", Metadata::created_by("z"), &payload(3))
+            .unwrap();
+        assert!(c > b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequence_is_monotonic() {
+        let store = Store::in_memory();
+        let a = store
+            .insert("m", Metadata::created_by("x"), &payload(1))
+            .unwrap();
+        let b = store
+            .insert("m", Metadata::created_by("x"), &payload(2))
+            .unwrap();
+        assert!(store.get(b).unwrap().metadata.sequence > store.get(a).unwrap().metadata.sequence);
+    }
+}

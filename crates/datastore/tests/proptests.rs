@@ -1,0 +1,99 @@
+//! Property-based tests for the provenance store.
+
+use datastore::{Metadata, Store};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_chains_have_full_lineage(depth in 1usize..20) {
+        let store = Store::in_memory();
+        let mut ids = Vec::new();
+        let mut parent = None;
+        for i in 0..depth {
+            let mut meta = Metadata::created_by(format!("tool-{i}"));
+            if let Some(p) = parent {
+                meta = meta.with_parent(p);
+            }
+            let id = store
+                .insert("chain", meta, &serde_json::json!({ "step": i }))
+                .expect("insert");
+            ids.push(id);
+            parent = Some(id);
+        }
+        let lineage = store.lineage(*ids.last().expect("non-empty")).expect("lineage");
+        prop_assert_eq!(lineage.len(), depth);
+        for id in &ids {
+            prop_assert!(lineage.contains(id));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic(count in 1usize..50) {
+        let store = Store::in_memory();
+        let mut previous = None;
+        for i in 0..count {
+            let id = store
+                .insert("c", Metadata::created_by("t"), &serde_json::json!(i))
+                .expect("insert");
+            if let Some(prev) = previous {
+                prop_assert!(id > prev);
+            }
+            previous = Some(id);
+        }
+        prop_assert_eq!(store.len(), count);
+    }
+
+    #[test]
+    fn query_finds_exactly_matching_params(n_match in 0usize..10, n_other in 0usize..10) {
+        let store = Store::in_memory();
+        for i in 0..n_match {
+            store
+                .insert(
+                    "nets",
+                    Metadata::created_by("t").with_param("act", "selu"),
+                    &serde_json::json!(i),
+                )
+                .expect("insert");
+        }
+        for i in 0..n_other {
+            store
+                .insert(
+                    "nets",
+                    Metadata::created_by("t").with_param("act", "relu"),
+                    &serde_json::json!(i),
+                )
+                .expect("insert");
+        }
+        prop_assert_eq!(store.query("nets", "act", "selu").len(), n_match);
+        prop_assert_eq!(store.query("nets", "act", "relu").len(), n_other);
+        prop_assert_eq!(store.query("nets", "act", "tanh").len(), 0);
+    }
+
+    #[test]
+    fn fan_in_lineage_deduplicates(width in 1usize..8) {
+        // Many parents feeding one child: lineage lists each id once.
+        let store = Store::in_memory();
+        let parents: Vec<_> = (0..width)
+            .map(|i| {
+                store
+                    .insert("p", Metadata::created_by("t"), &serde_json::json!(i))
+                    .expect("insert")
+            })
+            .collect();
+        let child = store
+            .insert(
+                "c",
+                Metadata::created_by("t").with_parents(parents.clone()),
+                &serde_json::json!("child"),
+            )
+            .expect("insert");
+        let lineage = store.lineage(child).expect("lineage");
+        prop_assert_eq!(lineage.len(), width + 1);
+        let mut sorted = lineage.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lineage.len());
+    }
+}

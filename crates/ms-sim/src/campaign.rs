@@ -1,0 +1,178 @@
+//! Measurement campaigns on the MMS prototype.
+//!
+//! "To evaluate the networks with measured data, we mixed gases with
+//! known spectra by using mass flow controllers, allowing us to create
+//! mixtures with controlled concentrations of compounds" (paper
+//! §III.A.3). "In each case, 14 different mixtures were used"
+//! (§III.A.2, sample-size study).
+
+use chem::Mixture;
+use spectrum::UniformAxis;
+
+use crate::prototype::{MeasuredSample, MmsPrototype};
+use crate::simulate::LabeledSpectra;
+use crate::MsSimError;
+
+/// The measurement task of the MMS project: the eight substances the
+/// network reports, in output order. H₂O is included as a *detectable*
+/// substance although no calibration mixture purposely contains it — the
+/// paper: "H₂O was no purposed compound, but air humidity caused a signal
+/// ... Therefore, the ANN is able to detect water, but the reference gas
+/// should not contain water."
+pub const MS_TASK_SUBSTANCES: [&str; 8] = ["H2", "CH4", "H2O", "N2", "O2", "Ar", "CO2", "C3H8"];
+
+/// The 14 deterministic calibration mixtures used to parameterize the
+/// simulator and to evaluate trained networks. Compositions cover pure
+/// gases, binary, ternary and broad mixtures over the task substances
+/// (H₂O excluded by design).
+pub fn calibration_mixtures() -> Vec<Mixture> {
+    let recipes: [&[(&str, f64)]; 14] = [
+        &[("N2", 1.0)],
+        &[("Ar", 1.0)],
+        &[("CO2", 1.0)],
+        &[("N2", 0.8), ("O2", 0.2)],
+        &[("N2", 0.5), ("O2", 0.5)],
+        &[("N2", 0.9), ("CO2", 0.1)],
+        &[("Ar", 0.6), ("CO2", 0.4)],
+        &[("H2", 0.3), ("N2", 0.7)],
+        &[("CH4", 0.4), ("N2", 0.6)],
+        &[("C3H8", 0.25), ("CO2", 0.25), ("N2", 0.5)],
+        &[("N2", 0.4), ("O2", 0.3), ("Ar", 0.3)],
+        &[("H2", 0.1), ("CH4", 0.2), ("N2", 0.4), ("CO2", 0.3)],
+        &[("N2", 0.25), ("O2", 0.25), ("Ar", 0.25), ("CO2", 0.25)],
+        &[
+            ("H2", 0.1),
+            ("CH4", 0.1),
+            ("N2", 0.3),
+            ("O2", 0.15),
+            ("Ar", 0.15),
+            ("C3H8", 0.1),
+            ("CO2", 0.1),
+        ],
+    ];
+    recipes
+        .iter()
+        .map(|parts| {
+            Mixture::from_fractions(parts.iter().map(|&(n, f)| (n.to_string(), f)).collect())
+                .expect("static recipes are valid")
+        })
+        .collect()
+}
+
+/// Measures every calibration mixture `samples_per_mixture` times on the
+/// prototype, returning all samples in mixture order.
+///
+/// # Errors
+///
+/// Propagates measurement errors from the prototype.
+pub fn run_calibration_campaign(
+    prototype: &mut MmsPrototype,
+    samples_per_mixture: usize,
+) -> Result<Vec<MeasuredSample>, MsSimError> {
+    let mut out = Vec::with_capacity(14 * samples_per_mixture);
+    for mixture in calibration_mixtures() {
+        out.extend(prototype.measure_series(&mixture, samples_per_mixture)?);
+    }
+    Ok(out)
+}
+
+/// Converts measured samples into a [`LabeledSpectra`] set with labels in
+/// [`MS_TASK_SUBSTANCES`] order — the measured evaluation data of
+/// Figures 5–7.
+///
+/// # Errors
+///
+/// Returns [`MsSimError::Characterization`] if `samples` is empty or the
+/// samples disagree on their axis.
+pub fn to_labeled_spectra(samples: &[MeasuredSample]) -> Result<LabeledSpectra, MsSimError> {
+    let first_axis: UniformAxis = match samples.first() {
+        Some(s) => *s.spectrum.axis(),
+        None => return Err(MsSimError::Characterization("no samples".into())),
+    };
+    let mut inputs = Vec::with_capacity(samples.len());
+    let mut labels = Vec::with_capacity(samples.len());
+    for sample in samples {
+        if sample.spectrum.axis() != &first_axis {
+            return Err(MsSimError::Characterization(
+                "samples measured on different axes".into(),
+            ));
+        }
+        inputs.push(sample.spectrum.intensities().to_vec());
+        labels.push(sample.mixture.fractions_for(&MS_TASK_SUBSTANCES));
+    }
+    Ok(LabeledSpectra {
+        inputs,
+        labels,
+        substances: MS_TASK_SUBSTANCES.iter().map(|&s| s.to_string()).collect(),
+        axis: first_axis,
+    })
+}
+
+/// Runs a fresh evaluation campaign: measures each calibration mixture
+/// `samples_per_mixture` times and returns the labelled set.
+///
+/// # Errors
+///
+/// Propagates measurement errors from the prototype.
+pub fn run_evaluation_campaign(
+    prototype: &mut MmsPrototype,
+    samples_per_mixture: usize,
+) -> Result<LabeledSpectra, MsSimError> {
+    let samples = run_calibration_campaign(prototype, samples_per_mixture)?;
+    to_labeled_spectra(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_valid_mixtures() {
+        let mixtures = calibration_mixtures();
+        assert_eq!(mixtures.len(), 14);
+        for m in &mixtures {
+            let sum: f64 = m.parts().iter().map(|&(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            // No purposed water.
+            assert_eq!(m.fraction_of("H2O"), 0.0);
+        }
+    }
+
+    #[test]
+    fn mixtures_cover_all_task_gases_except_water() {
+        let mixtures = calibration_mixtures();
+        for gas in MS_TASK_SUBSTANCES {
+            if gas == "H2O" {
+                continue;
+            }
+            assert!(
+                mixtures.iter().any(|m| m.fraction_of(gas) > 0.0),
+                "{gas} never appears in calibration"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_yields_expected_counts() {
+        let mut mms = MmsPrototype::new(1);
+        let samples = run_calibration_campaign(&mut mms, 2).unwrap();
+        assert_eq!(samples.len(), 28);
+    }
+
+    #[test]
+    fn labeled_spectra_layout() {
+        let mut mms = MmsPrototype::new(2);
+        let data = run_evaluation_campaign(&mut mms, 1).unwrap();
+        assert_eq!(data.len(), 14);
+        assert_eq!(data.substances.len(), 8);
+        assert_eq!(data.labels[0].len(), 8);
+        // First mixture is pure N2: label at the N2 slot.
+        let n2_idx = MS_TASK_SUBSTANCES.iter().position(|&s| s == "N2").unwrap();
+        assert_eq!(data.labels[0][n2_idx], 1.0);
+    }
+
+    #[test]
+    fn empty_sample_set_fails() {
+        assert!(to_labeled_spectra(&[]).is_err());
+    }
+}

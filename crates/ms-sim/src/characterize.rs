@@ -1,0 +1,438 @@
+//! Tool 2: automatic generation of the instrument simulator from measured
+//! data.
+//!
+//! "Characteristics of the measurement system such as the deformation of
+//! the peaks to a curve, the frequency-dependent attenuation, the drift
+//! and the noise model are to be obtained from real measurements"
+//! (paper §III.A.1). Given labelled measurement series of known mixtures,
+//! this module estimates an [`InstrumentModel`]:
+//!
+//! * peak-width law — Gaussian second moments of strong isolated peaks;
+//! * mass offset — centroid displacement of those peaks;
+//! * attenuation law — log-linear regression of measured peak area over
+//!   ideal stick intensity against m/z;
+//! * white-noise level — high-frequency content of peak-free regions;
+//! * ignition-gas level — residual response at the ignition-gas base peak.
+//!
+//! Deliberately *not* estimated (the paper's simulator has the same
+//! blind spots, which is what creates the sim-to-real gap): per-
+//! measurement gain fluctuation, humidity impurities, O₂ sensitivity
+//! drift, and mass jitter.
+
+use chem::fragmentation::GasLibrary;
+use spectrum::linalg::{lstsq, Matrix};
+use spectrum::noise::{GaussianNoise, NoiseModel};
+use spectrum::UniformAxis;
+
+use crate::ideal::IdealSpectrumGenerator;
+use crate::instrument::{AttenuationLaw, InstrumentModel, PeakWidthLaw};
+use crate::prototype::MeasuredSample;
+use crate::MsSimError;
+
+/// Half-width (m/z) of the window integrated around each expected peak.
+const WINDOW: f64 = 1.4;
+/// Minimum relative intensity for a stick to be used for estimation.
+const MIN_RELATIVE_INTENSITY: f64 = 0.15;
+/// Minimum distance to the nearest other stick for a peak to count as
+/// isolated.
+const ISOLATION: f64 = 2.0;
+
+/// Diagnostics of one characterization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationReport {
+    /// The estimated instrument model.
+    pub model: InstrumentModel,
+    /// Number of `(m/z, width)` points behind the width law.
+    pub width_points: usize,
+    /// Number of `(m/z, response)` points behind the attenuation law.
+    pub response_points: usize,
+    /// Number of measurements consumed.
+    pub measurements: usize,
+}
+
+/// Estimates instrument models from labelled measurement series.
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    library: GasLibrary,
+    ignition_gas: Option<String>,
+}
+
+impl Characterizer {
+    /// Creates a characterizer. `ignition_gas` is the known carrier/
+    /// ignition gas whose level should be estimated (its peak appears in
+    /// every measurement regardless of the sample).
+    pub fn new(library: GasLibrary, ignition_gas: Option<String>) -> Self {
+        Self {
+            library,
+            ignition_gas,
+        }
+    }
+
+    /// Runs the estimation over labelled measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::Characterization`] if no usable peaks are
+    /// found (e.g. empty input or unsuitable mixtures), and
+    /// [`MsSimError::Chem`] if a mixture references an unknown gas.
+    pub fn characterize(
+        &self,
+        samples: &[MeasuredSample],
+    ) -> Result<CharacterizationReport, MsSimError> {
+        if samples.is_empty() {
+            return Err(MsSimError::Characterization("no measurements".into()));
+        }
+        let generator = IdealSpectrumGenerator::new(self.library.clone());
+        let mut width_points: Vec<(f64, f64)> = Vec::new();
+        let mut offset_points: Vec<f64> = Vec::new();
+        let mut response_points: Vec<(f64, f64)> = Vec::new(); // (mz, ln ratio)
+        let mut noise_samples: Vec<f64> = Vec::new();
+        let mut ignition_areas: Vec<f64> = Vec::new();
+
+        for sample in samples {
+            let axis = *sample.spectrum.axis();
+            let ideal = generator.generate(&sample.mixture)?;
+            let sticks = ideal.sticks();
+            let strongest = ideal.base_peak().map_or(0.0, |(_, i)| i);
+            if strongest <= 0.0 {
+                continue;
+            }
+            // Strong, isolated, in-range sticks.
+            for &(mz, intensity) in sticks {
+                if intensity < MIN_RELATIVE_INTENSITY * strongest {
+                    continue;
+                }
+                if !axis.contains(mz - WINDOW) || !axis.contains(mz + WINDOW) {
+                    continue;
+                }
+                let isolated = sticks.iter().all(|&(other, other_int)| {
+                    other == mz
+                        || (other - mz).abs() >= ISOLATION
+                        || other_int < 0.02 * intensity
+                });
+                if !isolated {
+                    continue;
+                }
+                if let Some((area, centroid, fwhm)) =
+                    peak_moments(&sample.spectrum, &axis, mz, WINDOW)
+                {
+                    if area > 0.0 && fwhm > 0.0 {
+                        width_points.push((mz, fwhm));
+                        offset_points.push(centroid - mz);
+                        response_points.push((mz, (area / intensity).max(1e-9).ln()));
+                    }
+                }
+            }
+            // Ignition-gas base-peak area (only when absent from the mixture).
+            if let Some(gas) = &self.ignition_gas {
+                if sample.mixture.fraction_of(gas) == 0.0 {
+                    if let Some(pattern) = self.library.get(gas) {
+                        if let Some((mz, _)) = pattern.response_spectrum().base_peak() {
+                            if axis.contains(mz - WINDOW) && axis.contains(mz + WINDOW) {
+                                if let Some((area, _, _)) =
+                                    peak_moments(&sample.spectrum, &axis, mz, WINDOW)
+                                {
+                                    ignition_areas.push(area.max(0.0));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Noise from peak-free regions: samples further than 3 m/z from
+            // every expected stick (including ignition gas).
+            let mut guard: Vec<f64> = sticks.iter().map(|&(m, _)| m).collect();
+            if let Some(gas) = &self.ignition_gas {
+                if let Some(pattern) = self.library.get(gas) {
+                    guard.extend(pattern.response_spectrum().sticks().iter().map(|&(m, _)| m));
+                }
+            }
+            let mut run: Vec<f64> = Vec::new();
+            for (x, y) in sample.spectrum.iter() {
+                let free = guard.iter().all(|&g| (x - g).abs() > 3.0);
+                if free {
+                    run.push(y);
+                } else if run.len() >= 8 {
+                    noise_samples.extend(high_frequency_noise(&run));
+                    run.clear();
+                } else {
+                    run.clear();
+                }
+            }
+            if run.len() >= 8 {
+                noise_samples.extend(high_frequency_noise(&run));
+            }
+        }
+
+        if width_points.len() < 2 || response_points.len() < 2 {
+            return Err(MsSimError::Characterization(format!(
+                "too few usable peaks ({} width, {} response points)",
+                width_points.len(),
+                response_points.len()
+            )));
+        }
+
+        let peak_width = fit_linear_law(&width_points)
+            .map(|(a, b)| PeakWidthLaw { base: a, slope: b })
+            .ok_or_else(|| MsSimError::Characterization("width fit failed".into()))?;
+        let (log_amp, rate) = fit_linear_law(&response_points)
+            .ok_or_else(|| MsSimError::Characterization("attenuation fit failed".into()))?;
+        let attenuation = AttenuationLaw {
+            amplitude: log_amp.exp(),
+            rate,
+        };
+        let mass_offset = offset_points.iter().sum::<f64>() / offset_points.len() as f64;
+        let sigma = if noise_samples.is_empty() {
+            0.0
+        } else {
+            (noise_samples.iter().map(|v| v * v).sum::<f64>() / noise_samples.len() as f64).sqrt()
+        };
+        let ignition_gas = match (&self.ignition_gas, ignition_areas.is_empty()) {
+            (Some(gas), false) => {
+                let mean_area =
+                    ignition_areas.iter().sum::<f64>() / ignition_areas.len() as f64;
+                let pattern = self.library.require(gas)?;
+                let base_mz = pattern
+                    .response_spectrum()
+                    .base_peak()
+                    .map_or(0.0, |(m, _)| m);
+                let base_int = pattern
+                    .response_spectrum()
+                    .base_peak()
+                    .map_or(1.0, |(_, i)| i);
+                let gain = attenuation.gain_at(base_mz).max(1e-9);
+                Some((gas.clone(), (mean_area / (gain * base_int)).max(0.0)))
+            }
+            (Some(gas), true) => Some((gas.clone(), 0.0)),
+            (None, _) => None,
+        };
+
+        let model = InstrumentModel {
+            peak_width: PeakWidthLaw {
+                base: peak_width.base.max(0.05),
+                slope: peak_width.slope,
+            },
+            attenuation,
+            mass_offset,
+            noise: NoiseModel {
+                gaussian: GaussianNoise { sigma },
+                ..NoiseModel::silent()
+            },
+            ignition_gas,
+        };
+        model.validate()?;
+        Ok(CharacterizationReport {
+            model,
+            width_points: width_points.len(),
+            response_points: response_points.len(),
+            measurements: samples.len(),
+        })
+    }
+}
+
+/// Relative peak height below which window samples are treated as noise
+/// floor and excluded from the moment sums.
+const MOMENT_THRESHOLD: f64 = 0.05;
+/// Variance retained by a Gaussian truncated at 5 % of its peak height
+/// (`|z| <= 2.4477`): `1 - 2aφ(a) / (2Φ(a) - 1)`.
+const TRUNCATED_VARIANCE_FACTOR: f64 = 0.9007;
+/// Probability mass of a Gaussian within the 5 %-height truncation.
+const TRUNCATED_MASS_FACTOR: f64 = 0.98568;
+
+/// Baseline-corrected area, centroid and FWHM of the peak inside
+/// `center ± window`. Samples below 5 % of the local maximum are excluded
+/// (they are dominated by the clamped noise floor) and the moments are
+/// corrected for that truncation and for the sampling step. Returns
+/// `None` for degenerate windows.
+fn peak_moments(
+    spectrum: &spectrum::ContinuousSpectrum,
+    axis: &UniformAxis,
+    center: f64,
+    window: f64,
+) -> Option<(f64, f64, f64)> {
+    let lo = axis.nearest_index(center - window)?;
+    let hi = axis.nearest_index(center + window)?;
+    if hi <= lo + 3 {
+        return None;
+    }
+    let ys = &spectrum.intensities()[lo..=hi];
+    // Local baseline: mean of the two edge samples on each side.
+    let baseline = (ys[0] + ys[1] + ys[ys.len() - 2] + ys[ys.len() - 1]) / 4.0;
+    let vmax = ys
+        .iter()
+        .map(|&y| (y - baseline).max(0.0))
+        .fold(0.0f64, f64::max);
+    if vmax <= 0.0 {
+        return None;
+    }
+    let threshold = MOMENT_THRESHOLD * vmax;
+    let mut area = 0.0;
+    let mut first = 0.0;
+    let mut second = 0.0;
+    for (k, &y) in ys.iter().enumerate() {
+        let x = axis.value_at(lo + k);
+        let v = (y - baseline).max(0.0);
+        if v < threshold {
+            continue;
+        }
+        area += v;
+        first += v * x;
+        second += v * x * x;
+    }
+    if area <= 0.0 {
+        return None;
+    }
+    let centroid = first / area;
+    let step_var = axis.step() * axis.step() / 12.0;
+    let raw_variance = (second / area - centroid * centroid - step_var).max(0.0);
+    let variance = raw_variance / TRUNCATED_VARIANCE_FACTOR;
+    let fwhm = 2.0 * (2.0 * std::f64::consts::LN_2 * variance).sqrt();
+    let corrected_area = area * axis.step() / TRUNCATED_MASS_FACTOR;
+    Some((corrected_area, centroid, fwhm))
+}
+
+/// White-noise estimates from first differences of a peak-free run
+/// (differencing removes slow drift; `diff/sqrt(2)` has the sample σ).
+fn high_frequency_noise(run: &[f64]) -> Vec<f64> {
+    run.windows(2)
+        .map(|w| (w[1] - w[0]) / std::f64::consts::SQRT_2)
+        .collect()
+}
+
+/// Least-squares fit of `y = a + b x` over `(x, y)` points.
+fn fit_linear_law(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let rows: Vec<Vec<f64>> = points.iter().map(|&(x, _)| vec![1.0, x]).collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let design = Matrix::from_rows(&row_refs);
+    let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    lstsq(&design, &ys, 1e-9).ok().map(|c| (c[0], c[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::calibration_mixtures;
+    use crate::prototype::{ideal_config, MmsPrototype, PrototypeConfig};
+
+    fn characterizer() -> Characterizer {
+        Characterizer::new(GasLibrary::standard(), Some("He".into()))
+    }
+
+    fn collect_samples(noise_free: bool, per_mixture: usize, seed: u64) -> Vec<MeasuredSample> {
+        let config = if noise_free {
+            ideal_config()
+        } else {
+            PrototypeConfig::default()
+        };
+        let mut mms = MmsPrototype::with_config(seed, config);
+        let mixtures = calibration_mixtures();
+        let mut out = Vec::new();
+        for mixture in &mixtures {
+            out.extend(mms.measure_series(mixture, per_mixture).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_width_law_on_clean_data() {
+        // The usable strong peaks cluster between m/z ~16 and ~45, so the
+        // intercept at m/z 0 is poorly determined — what the simulator
+        // needs is the predicted FWHM *inside* that range (true law:
+        // 0.45 + 0.002*mz).
+        let samples = collect_samples(true, 3, 1);
+        let report = characterizer().characterize(&samples).unwrap();
+        for mz in [20.0, 28.0, 44.0] {
+            let predicted = report.model.peak_width.fwhm_at(mz);
+            let expected = 0.45 + 0.002 * mz;
+            assert!(
+                (predicted - expected).abs() < 0.07,
+                "fwhm at {mz}: predicted {predicted}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_mass_offset() {
+        let samples = collect_samples(true, 3, 2);
+        let report = characterizer().characterize(&samples).unwrap();
+        assert!(
+            (report.model.mass_offset - 0.04).abs() < 0.03,
+            "offset {}",
+            report.model.mass_offset
+        );
+    }
+
+    #[test]
+    fn recovers_attenuation_trend() {
+        let samples = collect_samples(true, 3, 3);
+        let report = characterizer().characterize(&samples).unwrap();
+        // True rate: -1/250 = -0.004.
+        assert!(
+            report.model.attenuation.rate < 0.0,
+            "rate {}",
+            report.model.attenuation.rate
+        );
+        assert!(
+            (report.model.attenuation.rate + 0.004).abs() < 0.004,
+            "rate {}",
+            report.model.attenuation.rate
+        );
+        assert!((report.model.attenuation.amplitude - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn estimates_ignition_gas_level() {
+        let samples = collect_samples(true, 3, 4);
+        let report = characterizer().characterize(&samples).unwrap();
+        let (gas, level) = report.model.ignition_gas.clone().unwrap();
+        assert_eq!(gas, "He");
+        assert!((level - 0.25).abs() < 0.05, "level {level}");
+    }
+
+    #[test]
+    fn noise_estimate_is_positive_on_noisy_data() {
+        let samples = collect_samples(false, 5, 5);
+        let report = characterizer().characterize(&samples).unwrap();
+        let sigma = report.model.noise.gaussian.sigma;
+        assert!(sigma > 1e-4, "sigma {sigma}");
+        assert!(sigma < 0.05, "sigma {sigma}");
+    }
+
+    #[test]
+    fn more_samples_tighten_width_estimates() {
+        // Estimates from many samples should be closer to the truth than
+        // from very few, on noisy data.
+        let few = characterizer()
+            .characterize(&collect_samples(false, 2, 6))
+            .unwrap();
+        let many = characterizer()
+            .characterize(&collect_samples(false, 40, 6))
+            .unwrap();
+        let err_few = (few.model.peak_width.base - 0.45).abs();
+        let err_many = (many.model.peak_width.base - 0.45).abs();
+        assert!(
+            err_many <= err_few + 0.02,
+            "few {err_few}, many {err_many}"
+        );
+    }
+
+    #[test]
+    fn empty_input_fails() {
+        assert!(matches!(
+            characterizer().characterize(&[]),
+            Err(MsSimError::Characterization(_))
+        ));
+    }
+
+    #[test]
+    fn report_counts_points() {
+        let samples = collect_samples(true, 2, 7);
+        let report = characterizer().characterize(&samples).unwrap();
+        assert_eq!(report.measurements, samples.len());
+        assert!(report.width_points > 10);
+        assert!(report.response_points > 10);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+use chem::ChemError;
+use spectrum::SpectrumError;
+
+/// Error type for the MS toolchain.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MsSimError {
+    /// A chemical-domain error (unknown gas, invalid mixture).
+    Chem(ChemError),
+    /// A spectral-processing error.
+    Spectrum(SpectrumError),
+    /// Characterization could not extract a parameter (too few usable
+    /// peaks or measurements).
+    Characterization(String),
+    /// An instrument-model parameter was out of range.
+    InvalidInstrument(String),
+}
+
+impl fmt::Display for MsSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsSimError::Chem(err) => write!(f, "chemistry error: {err}"),
+            MsSimError::Spectrum(err) => write!(f, "spectrum error: {err}"),
+            MsSimError::Characterization(msg) => write!(f, "characterization failed: {msg}"),
+            MsSimError::InvalidInstrument(msg) => write!(f, "invalid instrument model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MsSimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MsSimError::Chem(err) => Some(err),
+            MsSimError::Spectrum(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChemError> for MsSimError {
+    fn from(err: ChemError) -> Self {
+        MsSimError::Chem(err)
+    }
+}
+
+impl From<SpectrumError> for MsSimError {
+    fn from(err: SpectrumError) -> Self {
+        MsSimError::Spectrum(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let err = MsSimError::from(SpectrumError::Empty);
+        assert!(std::error::Error::source(&err).is_some());
+        let err = MsSimError::from(ChemError::Empty);
+        assert!(err.to_string().contains("chemistry"));
+    }
+}

@@ -1,0 +1,298 @@
+//! The parametric instrument model behind Tool 3.
+//!
+//! "These ideal spectra are converted into a continuous spectrum with the
+//! desired resolution using the characteristics of the real measuring
+//! system" (paper §III.A.1). The characteristics are: peak broadening
+//! ("deformation of the peaks to a curve"), mass-dependent attenuation,
+//! drift, a noise model, and the ever-present ignition-gas peak.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use spectrum::noise::NoiseModel;
+use spectrum::{ContinuousSpectrum, LineSpectrum, UniformAxis};
+
+use crate::MsSimError;
+
+/// Natural log of 2 (Gaussian FWHM parameterization).
+const LN2: f64 = std::f64::consts::LN_2;
+
+/// A linear-in-m/z peak-width law: `fwhm(mz) = base + slope * mz`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakWidthLaw {
+    /// Width at m/z 0.
+    pub base: f64,
+    /// Width increase per m/z unit.
+    pub slope: f64,
+}
+
+impl PeakWidthLaw {
+    /// The FWHM at a given m/z, floored to a small positive value.
+    pub fn fwhm_at(&self, mz: f64) -> f64 {
+        (self.base + self.slope * mz).max(0.05)
+    }
+}
+
+/// An exponential mass-dependent attenuation law:
+/// `gain(mz) = amplitude * exp(rate * mz)` — the "frequency-dependent
+/// attenuation" of the paper (typically `rate < 0`: heavy ions are
+/// transmitted less efficiently).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttenuationLaw {
+    /// Gain at m/z 0.
+    pub amplitude: f64,
+    /// Exponential rate per m/z unit.
+    pub rate: f64,
+}
+
+impl AttenuationLaw {
+    /// The gain at a given m/z.
+    pub fn gain_at(&self, mz: f64) -> f64 {
+        self.amplitude * (self.rate * mz).exp()
+    }
+}
+
+/// The complete parametric instrument model.
+///
+/// Everything in this struct is what Tool 2 can, in principle, estimate
+/// from measurements. Hidden prototype-only quirks live in
+/// [`crate::prototype::MmsPrototype`], *not* here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentModel {
+    /// Peak broadening law.
+    pub peak_width: PeakWidthLaw,
+    /// Mass-dependent attenuation.
+    pub attenuation: AttenuationLaw,
+    /// Static mass-calibration offset (m/z units).
+    pub mass_offset: f64,
+    /// Stochastic noise model.
+    pub noise: NoiseModel,
+    /// Ignition gas (name and effective level) whose peak appears in every
+    /// measurement — the peak "which has no counterpart in the line
+    /// spectrum" of the paper's Figure 4.
+    pub ignition_gas: Option<(String, f64)>,
+}
+
+impl InstrumentModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::InvalidInstrument`] if widths or gains are
+    /// non-positive/non-finite.
+    pub fn validate(&self) -> Result<(), MsSimError> {
+        if !(self.peak_width.base.is_finite() && self.peak_width.base > 0.0) {
+            return Err(MsSimError::InvalidInstrument(format!(
+                "peak width base {}",
+                self.peak_width.base
+            )));
+        }
+        if !self.peak_width.slope.is_finite() {
+            return Err(MsSimError::InvalidInstrument("peak width slope".into()));
+        }
+        if !(self.attenuation.amplitude.is_finite() && self.attenuation.amplitude > 0.0) {
+            return Err(MsSimError::InvalidInstrument(format!(
+                "attenuation amplitude {}",
+                self.attenuation.amplitude
+            )));
+        }
+        if !self.mass_offset.is_finite() {
+            return Err(MsSimError::InvalidInstrument("mass offset".into()));
+        }
+        if let Some((_, level)) = &self.ignition_gas {
+            if !(level.is_finite() && *level >= 0.0) {
+                return Err(MsSimError::InvalidInstrument(format!(
+                    "ignition gas level {level}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders an ideal line spectrum into a noiseless continuous spectrum
+    /// on `axis`: attenuation, mass offset (plus `extra_offset`, used by
+    /// the prototype for drift) and per-peak Gaussian broadening. The
+    /// ignition-gas peak is *not* added here — callers compose the full
+    /// sample line spectrum first.
+    pub fn render(
+        &self,
+        line: &LineSpectrum,
+        axis: &UniformAxis,
+        extra_offset: f64,
+    ) -> ContinuousSpectrum {
+        let mut samples = vec![0.0f64; axis.len()];
+        for &(mz, intensity) in line {
+            let gain = self.attenuation.gain_at(mz);
+            let amp = intensity * gain;
+            if amp <= 0.0 {
+                continue;
+            }
+            let center = mz + self.mass_offset + extra_offset;
+            let fwhm = self.peak_width.fwhm_at(mz);
+            let sigma = fwhm / (2.0 * (2.0 * LN2).sqrt());
+            let height = amp / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+            let support = 5.0 * fwhm;
+            let lo = axis.position_of(center - support).floor().max(0.0) as usize;
+            let hi = (axis.position_of(center + support).ceil() as isize)
+                .clamp(0, axis.len() as isize - 1) as usize;
+            if lo > hi {
+                continue;
+            }
+            for (idx, slot) in samples.iter_mut().enumerate().take(hi + 1).skip(lo) {
+                let z = (axis.value_at(idx) - center) / sigma;
+                *slot += height * (-0.5 * z * z).exp();
+            }
+        }
+        ContinuousSpectrum::from_parts(*axis, samples).expect("finite render")
+    }
+
+    /// Performs one simulated measurement: render, then apply the noise
+    /// model and clamp to non-negative detector counts.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        line: &LineSpectrum,
+        axis: &UniformAxis,
+        rng: &mut R,
+    ) -> ContinuousSpectrum {
+        let mut spectrum = self.render(line, axis, 0.0);
+        self.noise.apply(&mut spectrum, rng);
+        spectrum.clamp_non_negative();
+        spectrum
+    }
+}
+
+/// The default axis of the MMS prototype: m/z 1–100 at step 0.25
+/// (397 points — the input size of the paper's Table 1 network).
+pub fn default_axis() -> UniformAxis {
+    UniformAxis::from_range(1.0, 100.0, 0.25).expect("static axis is valid")
+}
+
+/// A reasonable starting instrument model for tests and examples.
+pub fn nominal_instrument() -> InstrumentModel {
+    InstrumentModel {
+        peak_width: PeakWidthLaw {
+            base: 0.45,
+            slope: 0.002,
+        },
+        attenuation: AttenuationLaw {
+            amplitude: 1.0,
+            rate: -1.0 / 250.0,
+        },
+        mass_offset: 0.0,
+        noise: NoiseModel::silent(),
+        ignition_gas: Some(("He".into(), 0.25)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn line() -> LineSpectrum {
+        LineSpectrum::from_sticks(vec![(28.0, 1.0), (80.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn default_axis_has_397_points() {
+        assert_eq!(default_axis().len(), 397);
+    }
+
+    #[test]
+    fn render_centers_peaks_with_offset() {
+        let mut model = nominal_instrument();
+        model.mass_offset = 0.5;
+        let spec = model.render(&line(), &default_axis(), 0.0);
+        // Find the local max near 28.5.
+        let idx = default_axis().nearest_index(28.5).unwrap();
+        let window = &spec.intensities()[idx - 4..idx + 5];
+        let max = window.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(spec.intensities()[idx], max);
+    }
+
+    #[test]
+    fn attenuation_suppresses_heavy_ions() {
+        let model = nominal_instrument();
+        let spec = model.render(&line(), &default_axis(), 0.0);
+        let low = spec.sample_at(28.0);
+        let high = spec.sample_at(80.0);
+        // Equal stick intensities, but width grows and gain falls with m/z.
+        assert!(high < low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn width_grows_with_mass() {
+        let model = nominal_instrument();
+        let spec = model.render(&line(), &default_axis(), 0.0);
+        let axis = default_axis();
+        let count_above_half = |center: f64| {
+            let peak = spec.sample_at(center);
+            axis.values()
+                .iter()
+                .filter(|&&x| (x - center).abs() < 2.0 && spec.sample_at(x) > peak / 2.0)
+                .count()
+        };
+        assert!(count_above_half(80.0) >= count_above_half(28.0));
+    }
+
+    #[test]
+    fn area_is_conserved_per_peak() {
+        let model = InstrumentModel {
+            attenuation: AttenuationLaw {
+                amplitude: 1.0,
+                rate: 0.0,
+            },
+            ..nominal_instrument()
+        };
+        let single = LineSpectrum::from_sticks(vec![(50.0, 2.0)]).unwrap();
+        let spec = model.render(&single, &default_axis(), 0.0);
+        assert!((spec.area() - 2.0).abs() < 0.02, "area {}", spec.area());
+    }
+
+    #[test]
+    fn measure_is_deterministic_given_seed() {
+        let model = nominal_instrument();
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let s1 = model.measure(&line(), &default_axis(), &mut a);
+        let s2 = model.measure(&line(), &default_axis(), &mut b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn measure_clamps_non_negative() {
+        let mut model = nominal_instrument();
+        model.noise.gaussian.sigma = 0.5;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let spec = model.measure(&line(), &default_axis(), &mut rng);
+        assert!(spec.intensities().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn validation_catches_garbage() {
+        let mut model = nominal_instrument();
+        model.peak_width.base = 0.0;
+        assert!(model.validate().is_err());
+        let mut model = nominal_instrument();
+        model.attenuation.amplitude = -1.0;
+        assert!(model.validate().is_err());
+        let mut model = nominal_instrument();
+        model.ignition_gas = Some(("He".into(), f64::NAN));
+        assert!(model.validate().is_err());
+        assert!(nominal_instrument().validate().is_ok());
+    }
+
+    #[test]
+    fn laws_evaluate() {
+        let w = PeakWidthLaw {
+            base: 0.4,
+            slope: 0.002,
+        };
+        assert!((w.fwhm_at(50.0) - 0.5).abs() < 1e-12);
+        let a = AttenuationLaw {
+            amplitude: 2.0,
+            rate: 0.0,
+        };
+        assert_eq!(a.gain_at(10.0), 2.0);
+    }
+}

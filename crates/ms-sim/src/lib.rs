@@ -1,0 +1,49 @@
+//! The mass-spectrometry toolchain of the paper's first project: a
+//! miniaturized in-process mass spectrometer (MMS) evaluated by neural
+//! networks trained exclusively on simulated spectra.
+//!
+//! The paper's Figure 3 toolflow maps onto this crate as follows:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Tool 1 — ideal line-spectra simulator | [`ideal`] |
+//! | Tool 2 — automatic generation of the instrument simulator from measurements | [`characterize`] |
+//! | Tool 3 — simulator of the portable mass spectrometer | [`instrument`], [`simulate`] |
+//! | the physical MMS prototype (hardware substitute, DESIGN.md §2) | [`prototype`] |
+//! | gas-mixing measurement campaigns | [`campaign`] |
+//!
+//! The crucial design point: [`prototype::MmsPrototype`] hides effects
+//! (per-measurement gain fluctuation, humidity-dependent H₂O impurity,
+//! O₂ sensitivity drift, mass-calibration jitter) that [`characterize`]
+//! does *not* estimate, so networks trained on the estimated simulator
+//! exhibit exactly the sim-to-real accuracy gap the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use chem::fragmentation::GasLibrary;
+//! use chem::Mixture;
+//! use ms_sim::ideal::IdealSpectrumGenerator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let generator = IdealSpectrumGenerator::new(GasLibrary::standard());
+//! let mix = Mixture::from_fractions(vec![("N2".into(), 0.9), ("Ar".into(), 0.1)])?;
+//! let line = generator.generate(&mix)?;
+//! assert!(line.intensity_at(28.0) > line.intensity_at(40.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod characterize;
+pub mod ideal;
+pub mod instrument;
+pub mod prototype;
+pub mod simulate;
+
+mod error;
+
+pub use error::MsSimError;

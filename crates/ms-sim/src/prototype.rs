@@ -1,0 +1,372 @@
+//! The MMS prototype: the workspace's stand-in for the paper's physical
+//! miniaturized mass spectrometer.
+//!
+//! Substitution rationale (DESIGN.md §2): the paper's central phenomenon
+//! is that networks trained on simulated spectra degrade on *measured*
+//! spectra ("this behaviour was to be expected due to the prototype status
+//! of the measurement equipment and the resulting fluctuations in the
+//! quality of the measurement results", §III.A.2). To reproduce that
+//! faithfully, this prototype carries hidden effects the characterization
+//! tool does not model:
+//!
+//! * per-measurement global gain fluctuation (detector/pressure drift) —
+//!   the mechanism that rewards sum-to-one (softmax) outputs;
+//! * a humidity-dependent H₂O impurity ("air humidity caused a signal in
+//!   the reference measurement", §III.A.3);
+//! * a hidden O₂ sensitivity deficit (the paper's O₂/H₂O confusion);
+//! * mass-calibration jitter and slow drift across measurements;
+//! * richer noise (shot + drift + spikes) than the estimated white model.
+
+use chem::fragmentation::GasLibrary;
+use chem::Mixture;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spectrum::noise::{standard_normal, DriftNoise, GaussianNoise, NoiseModel, ShotNoise, SpikeNoise};
+use spectrum::{ContinuousSpectrum, LineSpectrum, UniformAxis};
+
+use crate::instrument::{default_axis, AttenuationLaw, InstrumentModel, PeakWidthLaw};
+use crate::MsSimError;
+
+/// Hidden-behaviour configuration of the prototype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrototypeConfig {
+    /// Relative std-dev of the per-measurement global gain.
+    pub gain_fluctuation: f64,
+    /// Mean effective fraction of ambient H₂O leaking into every sample.
+    pub humidity_level: f64,
+    /// Std-dev of the humidity level across measurements.
+    pub humidity_variation: f64,
+    /// Hidden multiplier on the O₂ response (deficit < 1 causes the
+    /// paper's O₂ under-read / H₂O confusion).
+    pub o2_sensitivity: f64,
+    /// Per-measurement mass-calibration jitter (m/z units, 1σ).
+    pub mass_jitter: f64,
+    /// Slow mass drift per measurement (m/z units).
+    pub drift_per_measurement: f64,
+}
+
+impl Default for PrototypeConfig {
+    fn default() -> Self {
+        Self {
+            gain_fluctuation: 0.28,
+            humidity_level: 0.008,
+            humidity_variation: 0.004,
+            o2_sensitivity: 0.80,
+            mass_jitter: 0.02,
+            drift_per_measurement: 1e-5,
+        }
+    }
+}
+
+/// An ideal prototype with every hidden effect disabled — measured data
+/// then matches the simulator and the sim-to-real gap vanishes. Useful
+/// for ablations.
+pub fn ideal_config() -> PrototypeConfig {
+    PrototypeConfig {
+        gain_fluctuation: 0.0,
+        humidity_level: 0.0,
+        humidity_variation: 0.0,
+        o2_sensitivity: 1.0,
+        mass_jitter: 0.0,
+        drift_per_measurement: 0.0,
+    }
+}
+
+/// One measured, labelled sample from the prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredSample {
+    /// The measured spectrum.
+    pub spectrum: ContinuousSpectrum,
+    /// The ground-truth mixture that was fed to the instrument.
+    pub mixture: Mixture,
+}
+
+/// The simulated physical MMS prototype.
+///
+/// # Example
+///
+/// ```
+/// use chem::Mixture;
+/// use ms_sim::prototype::MmsPrototype;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mms = MmsPrototype::new(42);
+/// let air = Mixture::from_fractions(vec![
+///     ("N2".into(), 0.78), ("O2".into(), 0.21), ("Ar".into(), 0.01),
+/// ])?;
+/// let sample = mms.measure(&air)?;
+/// assert_eq!(sample.spectrum.len(), mms.axis().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MmsPrototype {
+    library: GasLibrary,
+    instrument: InstrumentModel,
+    config: PrototypeConfig,
+    axis: UniformAxis,
+    rng: ChaCha8Rng,
+    measurements_taken: u64,
+}
+
+impl MmsPrototype {
+    /// A prototype with the default hidden behaviour, seeded for
+    /// reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, PrototypeConfig::default())
+    }
+
+    /// A prototype with explicit hidden behaviour.
+    pub fn with_config(seed: u64, config: PrototypeConfig) -> Self {
+        let instrument = InstrumentModel {
+            peak_width: PeakWidthLaw {
+                base: 0.45,
+                slope: 0.002,
+            },
+            attenuation: AttenuationLaw {
+                amplitude: 1.0,
+                rate: -1.0 / 250.0,
+            },
+            mass_offset: 0.04,
+            noise: NoiseModel {
+                gaussian: GaussianNoise { sigma: 0.004 },
+                shot: ShotNoise { scale: 0.010 },
+                drift: DriftNoise {
+                    amplitude: 0.004,
+                    correlation: 40,
+                },
+                spikes: SpikeNoise {
+                    probability: 5e-4,
+                    magnitude: 0.08,
+                },
+            },
+            ignition_gas: Some(("He".into(), 0.25)),
+        };
+        Self {
+            library: GasLibrary::standard(),
+            instrument,
+            config,
+            axis: default_axis(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            measurements_taken: 0,
+        }
+    }
+
+    /// The measurement axis (m/z 1–100, step 0.25).
+    pub fn axis(&self) -> &UniformAxis {
+        &self.axis
+    }
+
+    /// The hidden configuration (inspection/ablation only — Tool 2 never
+    /// sees this).
+    pub fn config(&self) -> &PrototypeConfig {
+        &self.config
+    }
+
+    /// The *true* instrument parameters (inspection only).
+    pub fn true_instrument(&self) -> &InstrumentModel {
+        &self.instrument
+    }
+
+    /// Number of measurements performed so far (drives slow drift).
+    pub fn measurements_taken(&self) -> u64 {
+        self.measurements_taken
+    }
+
+    /// Performs one measurement of `mixture`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::Chem`] if a mixture component is not in the
+    /// gas library.
+    pub fn measure(&mut self, mixture: &Mixture) -> Result<MeasuredSample, MsSimError> {
+        // Compose the true sample line spectrum with hidden effects.
+        let mut sticks: Vec<(f64, f64)> = Vec::new();
+        for (name, fraction) in mixture {
+            let pattern = self.library.require(name)?;
+            let hidden_gain = if name == "O2" {
+                self.config.o2_sensitivity
+            } else {
+                1.0
+            };
+            for &(mz, intensity) in pattern.response_spectrum().sticks() {
+                sticks.push((mz, intensity * fraction * hidden_gain));
+            }
+        }
+        // Humidity impurity.
+        let humidity = (self.config.humidity_level
+            + self.config.humidity_variation * standard_normal(&mut self.rng))
+        .max(0.0);
+        if humidity > 0.0 {
+            let water = self.library.require("H2O")?.response_spectrum();
+            for &(mz, intensity) in water.sticks() {
+                sticks.push((mz, intensity * humidity));
+            }
+        }
+        // Ignition gas.
+        if let Some((gas, level)) = self.instrument.ignition_gas.clone() {
+            let pattern = self.library.require(&gas)?.response_spectrum();
+            for &(mz, intensity) in pattern.sticks() {
+                sticks.push((mz, intensity * level));
+            }
+        }
+        let line = LineSpectrum::from_sticks(sticks)?;
+
+        // Mass drift + jitter.
+        let extra_offset = self.config.drift_per_measurement * self.measurements_taken as f64
+            + self.config.mass_jitter * standard_normal(&mut self.rng);
+        let mut spectrum = self.instrument.render(&line, &self.axis, extra_offset);
+
+        // Hidden per-measurement gain fluctuation.
+        let gain =
+            (1.0 + self.config.gain_fluctuation * standard_normal(&mut self.rng)).max(0.5);
+        spectrum.scale(gain);
+
+        // Physical noise.
+        self.instrument.noise.apply(&mut spectrum, &mut self.rng);
+        spectrum.clamp_non_negative();
+
+        self.measurements_taken += 1;
+        Ok(MeasuredSample {
+            spectrum,
+            mixture: mixture.clone(),
+        })
+    }
+
+    /// Measures the same mixture `count` times (a measurement series).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MmsPrototype::measure`].
+    pub fn measure_series(
+        &mut self,
+        mixture: &Mixture,
+        count: usize,
+    ) -> Result<Vec<MeasuredSample>, MsSimError> {
+        (0..count).map(|_| self.measure(mixture)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn air() -> Mixture {
+        Mixture::from_fractions(vec![
+            ("N2".into(), 0.78),
+            ("O2".into(), 0.21),
+            ("Ar".into(), 0.01),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn measurement_is_reproducible_per_seed() {
+        let mut a = MmsPrototype::new(7);
+        let mut b = MmsPrototype::new(7);
+        assert_eq!(a.measure(&air()).unwrap(), b.measure(&air()).unwrap());
+    }
+
+    #[test]
+    fn repeated_measurements_differ() {
+        let mut mms = MmsPrototype::new(7);
+        let s1 = mms.measure(&air()).unwrap();
+        let s2 = mms.measure(&air()).unwrap();
+        assert_ne!(s1.spectrum, s2.spectrum);
+        assert_eq!(mms.measurements_taken(), 2);
+    }
+
+    #[test]
+    fn ignition_gas_peak_is_present() {
+        let mut mms = MmsPrototype::new(3);
+        // Pure nitrogen has no He line of its own.
+        let sample = mms.measure(&Mixture::pure("N2")).unwrap();
+        assert!(
+            sample.spectrum.sample_at(4.0) > 0.01,
+            "He ignition peak missing: {}",
+            sample.spectrum.sample_at(4.0)
+        );
+    }
+
+    #[test]
+    fn humidity_adds_water_signal() {
+        let config = PrototypeConfig {
+            humidity_level: 0.05,
+            humidity_variation: 0.0,
+            gain_fluctuation: 0.0,
+            ..PrototypeConfig::default()
+        };
+        let mut humid = MmsPrototype::with_config(3, config);
+        let mut dry = MmsPrototype::with_config(3, ideal_config());
+        let wet_sample = humid.measure(&Mixture::pure("N2")).unwrap();
+        let dry_sample = dry.measure(&Mixture::pure("N2")).unwrap();
+        assert!(wet_sample.spectrum.sample_at(18.0) > dry_sample.spectrum.sample_at(18.0) + 0.01);
+    }
+
+    #[test]
+    fn o2_deficit_reduces_oxygen_response() {
+        let o2 = Mixture::pure("O2");
+        let mut weak = MmsPrototype::with_config(
+            5,
+            PrototypeConfig {
+                o2_sensitivity: 0.5,
+                gain_fluctuation: 0.0,
+                humidity_level: 0.0,
+                humidity_variation: 0.0,
+                mass_jitter: 0.0,
+                drift_per_measurement: 0.0,
+            },
+        );
+        let mut full = MmsPrototype::with_config(5, ideal_config());
+        let weak_peak = weak.measure(&o2).unwrap().spectrum.sample_at(32.0);
+        let full_peak = full.measure(&o2).unwrap().spectrum.sample_at(32.0);
+        assert!(
+            weak_peak < 0.7 * full_peak,
+            "weak {weak_peak} vs full {full_peak}"
+        );
+    }
+
+    #[test]
+    fn ideal_config_removes_gain_variance() {
+        let mut mms = MmsPrototype::with_config(11, ideal_config());
+        let series = mms.measure_series(&air(), 10).unwrap();
+        let peaks: Vec<f64> = series
+            .iter()
+            .map(|s| s.spectrum.sample_at(28.0))
+            .collect();
+        let mean = peaks.iter().sum::<f64>() / peaks.len() as f64;
+        let sd = (peaks.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+            / peaks.len() as f64)
+            .sqrt();
+        // Only detector noise remains: relative sd well below 2 %.
+        assert!(sd / mean < 0.02, "relative sd {}", sd / mean);
+    }
+
+    #[test]
+    fn gain_fluctuation_dominates_peak_variance() {
+        let mut mms = MmsPrototype::with_config(
+            11,
+            PrototypeConfig {
+                gain_fluctuation: 0.1,
+                ..ideal_config()
+            },
+        );
+        let series = mms.measure_series(&air(), 30).unwrap();
+        let peaks: Vec<f64> = series
+            .iter()
+            .map(|s| s.spectrum.sample_at(28.0))
+            .collect();
+        let mean = peaks.iter().sum::<f64>() / peaks.len() as f64;
+        let sd = (peaks.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+            / peaks.len() as f64)
+            .sqrt();
+        assert!(sd / mean > 0.05, "relative sd {}", sd / mean);
+    }
+
+    #[test]
+    fn unknown_gas_is_rejected() {
+        let mut mms = MmsPrototype::new(1);
+        let bad = Mixture::pure("Unobtainium");
+        assert!(mms.measure(&bad).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Tool 3 as a training-data factory.
+//!
+//! "With the simulator created in this way, a sufficient number of
+//! simulated and labelled measurement series can be generated in minutes
+//! to train an artificial neural network" (paper §III.A.1).
+
+use chem::fragmentation::GasLibrary;
+use chem::Mixture;
+use rand::Rng;
+use spectrum::{ContinuousSpectrum, LineSpectrum, UniformAxis};
+
+use crate::ideal::IdealSpectrumGenerator;
+use crate::instrument::InstrumentModel;
+use crate::MsSimError;
+
+/// A labelled spectra set: flattened spectra plus fraction labels in a
+/// fixed substance order. This is the common exchange format between the
+/// simulators, the prototype campaigns and the neural pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSpectra {
+    /// Spectral samples, one `Vec` per spectrum.
+    pub inputs: Vec<Vec<f64>>,
+    /// Fraction labels, one `Vec` per spectrum, in `substances` order.
+    pub labels: Vec<Vec<f64>>,
+    /// Substance (output) order.
+    pub substances: Vec<String>,
+    /// The spectral axis all inputs share.
+    pub axis: UniformAxis,
+}
+
+impl LabeledSpectra {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Appends all samples of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substance order or axis differ (programming error).
+    pub fn extend(&mut self, other: LabeledSpectra) {
+        assert_eq!(self.substances, other.substances, "substance order");
+        assert_eq!(self.axis, other.axis, "axis mismatch");
+        self.inputs.extend(other.inputs);
+        self.labels.extend(other.labels);
+    }
+
+    /// Inputs converted to `f32` rows (neural-network precision).
+    pub fn inputs_f32(&self) -> Vec<Vec<f32>> {
+        self.inputs
+            .iter()
+            .map(|row| row.iter().map(|&v| v as f32).collect())
+            .collect()
+    }
+
+    /// Labels converted to `f32` rows.
+    pub fn labels_f32(&self) -> Vec<Vec<f32>> {
+        self.labels
+            .iter()
+            .map(|row| row.iter().map(|&v| v as f32).collect())
+            .collect()
+    }
+}
+
+/// Generates simulated labelled spectra from an (estimated) instrument
+/// model — the paper's Tool 3 in its training-data role.
+#[derive(Debug, Clone)]
+pub struct TrainingSimulator {
+    instrument: InstrumentModel,
+    generator: IdealSpectrumGenerator,
+    substances: Vec<String>,
+    axis: UniformAxis,
+}
+
+impl TrainingSimulator {
+    /// Creates a simulator for a measurement task over `substances`
+    /// (the network's output order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::Chem`] if a substance is missing from the
+    /// library, or [`MsSimError::InvalidInstrument`] if the model is
+    /// invalid.
+    pub fn new(
+        instrument: InstrumentModel,
+        library: GasLibrary,
+        substances: Vec<String>,
+        axis: UniformAxis,
+    ) -> Result<Self, MsSimError> {
+        instrument.validate()?;
+        for s in &substances {
+            library.require(s)?;
+        }
+        Ok(Self {
+            instrument,
+            generator: IdealSpectrumGenerator::new(library),
+            substances,
+            axis,
+        })
+    }
+
+    /// The substance (label) order.
+    pub fn substances(&self) -> &[String] {
+        &self.substances
+    }
+
+    /// The spectral axis.
+    pub fn axis(&self) -> &UniformAxis {
+        &self.axis
+    }
+
+    /// The instrument model in use.
+    pub fn instrument(&self) -> &InstrumentModel {
+        &self.instrument
+    }
+
+    /// The full sample line spectrum for a mixture: ideal superposition
+    /// plus the modelled ignition-gas contribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::Chem`] on unknown components.
+    pub fn sample_line(&self, mixture: &Mixture) -> Result<LineSpectrum, MsSimError> {
+        let mut line = self.generator.generate(mixture)?;
+        if let Some((gas, level)) = &self.instrument.ignition_gas {
+            if *level > 0.0 {
+                let pattern = self.generator.library().require(gas)?.response_spectrum();
+                line = LineSpectrum::superpose(&[(&line, 1.0), (&pattern, *level)])?;
+            }
+        }
+        Ok(line)
+    }
+
+    /// Simulates one noisy measurement of `mixture`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::Chem`] on unknown components.
+    pub fn simulate_measurement<R: Rng + ?Sized>(
+        &self,
+        mixture: &Mixture,
+        rng: &mut R,
+    ) -> Result<ContinuousSpectrum, MsSimError> {
+        let line = self.sample_line(mixture)?;
+        Ok(self.instrument.measure(&line, &self.axis, rng))
+    }
+
+    /// Simulates the noiseless rendered spectrum of `mixture` (Figure 4's
+    /// orange trace without the stochastic part).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::Chem`] on unknown components.
+    pub fn simulate_clean(&self, mixture: &Mixture) -> Result<ContinuousSpectrum, MsSimError> {
+        let line = self.sample_line(mixture)?;
+        Ok(self.instrument.render(&line, &self.axis, 0.0))
+    }
+
+    /// Generates `count` labelled training spectra at random mixture
+    /// compositions (uniform on the simplex over the task substances).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MsSimError::Chem`] on unknown components.
+    pub fn generate_dataset<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<LabeledSpectra, MsSimError> {
+        let names: Vec<&str> = self.substances.iter().map(String::as_str).collect();
+        let mut inputs = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mixture = Mixture::random(&names, rng)?;
+            let spectrum = self.simulate_measurement(&mixture, rng)?;
+            inputs.push(spectrum.into_intensities());
+            labels.push(mixture.fractions_for(&names));
+        }
+        Ok(LabeledSpectra {
+            inputs,
+            labels,
+            substances: self.substances.clone(),
+            axis: self.axis,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::{default_axis, nominal_instrument};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn simulator() -> TrainingSimulator {
+        TrainingSimulator::new(
+            nominal_instrument(),
+            GasLibrary::standard(),
+            vec!["N2".into(), "O2".into(), "Ar".into(), "CO2".into()],
+            default_axis(),
+        )
+        .unwrap()
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn unknown_substance_is_rejected() {
+        let result = TrainingSimulator::new(
+            nominal_instrument(),
+            GasLibrary::standard(),
+            vec!["Kryptonite".into()],
+            default_axis(),
+        );
+        assert!(matches!(result, Err(MsSimError::Chem(_))));
+    }
+
+    #[test]
+    fn sample_line_includes_ignition_gas() {
+        let sim = simulator();
+        let mix = Mixture::pure("N2");
+        let line = sim.sample_line(&mix).unwrap();
+        assert!(line.intensity_at(4.0) > 0.0, "He peak missing");
+    }
+
+    #[test]
+    fn dataset_has_simplex_labels() {
+        let sim = simulator();
+        let data = sim.generate_dataset(20, &mut rng()).unwrap();
+        assert_eq!(data.len(), 20);
+        for label in &data.labels {
+            assert_eq!(label.len(), 4);
+            let sum: f64 = label.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(label.iter().all(|&v| v >= 0.0));
+        }
+        for input in &data.inputs {
+            assert_eq!(input.len(), default_axis().len());
+        }
+    }
+
+    #[test]
+    fn clean_simulation_is_deterministic() {
+        let sim = simulator();
+        let mix = Mixture::from_fractions(vec![("N2".into(), 0.6), ("O2".into(), 0.4)]).unwrap();
+        assert_eq!(
+            sim.simulate_clean(&mix).unwrap(),
+            sim.simulate_clean(&mix).unwrap()
+        );
+    }
+
+    #[test]
+    fn noisy_measurements_vary() {
+        let mut instrument = nominal_instrument();
+        instrument.noise.gaussian.sigma = 0.01;
+        let sim = TrainingSimulator::new(
+            instrument,
+            GasLibrary::standard(),
+            vec!["N2".into(), "O2".into()],
+            default_axis(),
+        )
+        .unwrap();
+        let mix = Mixture::from_fractions(vec![("N2".into(), 0.5), ("O2".into(), 0.5)]).unwrap();
+        let mut r = rng();
+        let a = sim.simulate_measurement(&mix, &mut r).unwrap();
+        let b = sim.simulate_measurement(&mix, &mut r).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let sim = simulator();
+        let mut a = sim.generate_dataset(5, &mut rng()).unwrap();
+        let b = sim.generate_dataset(3, &mut rng()).unwrap();
+        a.extend(b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn f32_conversion_preserves_shape() {
+        let sim = simulator();
+        let data = sim.generate_dataset(4, &mut rng()).unwrap();
+        let inputs = data.inputs_f32();
+        let labels = data.labels_f32();
+        assert_eq!(inputs.len(), 4);
+        assert_eq!(inputs[0].len(), data.inputs[0].len());
+        assert_eq!(labels[0].len(), 4);
+    }
+}

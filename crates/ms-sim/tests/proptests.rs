@@ -1,0 +1,103 @@
+//! Property-based tests for the MS toolchain.
+
+use chem::fragmentation::GasLibrary;
+use chem::Mixture;
+use ms_sim::campaign::MS_TASK_SUBSTANCES;
+use ms_sim::ideal::IdealSpectrumGenerator;
+use ms_sim::instrument::{default_axis, nominal_instrument};
+use ms_sim::prototype::MmsPrototype;
+use ms_sim::simulate::TrainingSimulator;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arbitrary_task_mixture() -> impl Strategy<Value = Mixture> {
+    prop::collection::vec(0.01..1.0f64, MS_TASK_SUBSTANCES.len()).prop_map(|weights| {
+        Mixture::from_weights(
+            MS_TASK_SUBSTANCES
+                .iter()
+                .zip(weights)
+                .map(|(&n, w)| (n.to_string(), w))
+                .collect(),
+        )
+        .expect("positive weights")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ideal_spectra_scale_linearly_with_any_mixture(mix in arbitrary_task_mixture()) {
+        let generator = IdealSpectrumGenerator::new(GasLibrary::standard());
+        let one = generator.generate(&mix).expect("ideal");
+        // Manual superposition must agree stick-by-stick.
+        for (name, fraction) in &mix {
+            let pure = generator.generate_pure(name).expect("pure");
+            for &(mz, intensity) in pure.sticks() {
+                prop_assert!(one.intensity_at(mz) >= fraction * intensity - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_measurements_are_non_negative_and_axis_sized(
+        mix in arbitrary_task_mixture(), seed in 0u64..500
+    ) {
+        let simulator = TrainingSimulator::new(
+            nominal_instrument(),
+            GasLibrary::standard(),
+            MS_TASK_SUBSTANCES.iter().map(|&s| s.to_string()).collect(),
+            default_axis(),
+        )
+        .expect("simulator");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spec = simulator.simulate_measurement(&mix, &mut rng).expect("measurement");
+        prop_assert_eq!(spec.len(), default_axis().len());
+        prop_assert!(spec.intensities().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn prototype_measurements_are_non_negative(mix in arbitrary_task_mixture(), seed in 0u64..200) {
+        let mut mms = MmsPrototype::new(seed);
+        let sample = mms.measure(&mix).expect("measure");
+        prop_assert!(sample.spectrum.intensities().iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(sample.mixture.parts().len(), mix.parts().len());
+    }
+
+    #[test]
+    fn dataset_labels_live_on_the_simplex(count in 1usize..12, seed in 0u64..200) {
+        let simulator = TrainingSimulator::new(
+            nominal_instrument(),
+            GasLibrary::standard(),
+            MS_TASK_SUBSTANCES.iter().map(|&s| s.to_string()).collect(),
+            default_axis(),
+        )
+        .expect("simulator");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data = simulator.generate_dataset(count, &mut rng).expect("dataset");
+        prop_assert_eq!(data.len(), count);
+        for label in &data.labels {
+            let sum: f64 = label.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(label.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn stronger_fraction_gives_stronger_base_peak(frac in 0.2..0.8f64) {
+        // Monotonicity of the clean render in the mixture fraction.
+        let simulator = TrainingSimulator::new(
+            nominal_instrument(),
+            GasLibrary::standard(),
+            vec!["Ar".into(), "N2".into()],
+            default_axis(),
+        )
+        .expect("simulator");
+        let lo = Mixture::from_fractions(vec![("Ar".into(), frac * 0.5), ("N2".into(), 1.0 - frac * 0.5)]).expect("mixture");
+        let hi = Mixture::from_fractions(vec![("Ar".into(), frac), ("N2".into(), 1.0 - frac)]).expect("mixture");
+        let spec_lo = simulator.simulate_clean(&lo).expect("render");
+        let spec_hi = simulator.simulate_clean(&hi).expect("render");
+        prop_assert!(spec_hi.sample_at(40.0) > spec_lo.sample_at(40.0));
+    }
+}

@@ -1,0 +1,306 @@
+//! Activation functions.
+//!
+//! The paper compares ReLU vs SELU in hidden layers and Softmax vs Linear
+//! in the final convolutional and output layers (§III.A.2, Figure 5); the
+//! Softmax-on-output finding ("beneficial especially for nets whose output
+//! values add up to 1") is one of its headline results, so softmax here is
+//! a first-class grouped activation, not an afterthought.
+
+use serde::{Deserialize, Serialize};
+
+/// SELU scale constant (Klambauer et al., self-normalizing networks).
+pub const SELU_SCALE: f32 = 1.050_700_98;
+/// SELU alpha constant.
+pub const SELU_ALPHA: f32 = 1.673_263_24;
+
+/// An activation function applied by a layer to its pre-activations.
+///
+/// Elementwise activations (`Linear`, `Relu`, `Selu`, `Sigmoid`, `Tanh`)
+/// ignore grouping. `Softmax` normalizes over *groups*: for a dense layer
+/// the whole output is one group; for a convolutional layer each spatial
+/// position's channel vector is one group (matching Keras' channels-last
+/// softmax semantics the paper's models rely on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Scaled exponential linear unit.
+    Selu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Softmax over each group (see type-level docs).
+    Softmax,
+}
+
+impl Activation {
+    /// Applies the activation in place. `group` is the softmax group size;
+    /// it must divide `values.len()`. Elementwise activations ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is zero or does not divide `values.len()` when
+    /// the activation is `Softmax`.
+    pub fn apply(&self, values: &mut [f32], group: usize) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for v in values.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::Selu => {
+                for v in values.iter_mut() {
+                    *v = if *v > 0.0 {
+                        SELU_SCALE * *v
+                    } else {
+                        SELU_SCALE * SELU_ALPHA * (v.exp() - 1.0)
+                    };
+                }
+            }
+            Activation::Sigmoid => {
+                for v in values.iter_mut() {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Tanh => {
+                for v in values.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Softmax => {
+                assert!(
+                    group > 0 && values.len() % group == 0,
+                    "softmax group {group} must divide {}",
+                    values.len()
+                );
+                for chunk in values.chunks_mut(group) {
+                    let max = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for v in chunk.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    if sum > 0.0 {
+                        for v in chunk.iter_mut() {
+                            *v /= sum;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transforms the gradient w.r.t. the activation *output* into the
+    /// gradient w.r.t. the pre-activation, in place.
+    ///
+    /// `outputs` must be the values produced by [`Activation::apply`] for
+    /// the same forward pass; `grad` is modified in place. `group` must be
+    /// the same group size used in `apply`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != outputs.len()`, or the softmax group is
+    /// invalid.
+    pub fn backward(&self, outputs: &[f32], grad: &mut [f32], group: usize) {
+        assert_eq!(grad.len(), outputs.len(), "gradient length mismatch");
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for (g, &y) in grad.iter_mut().zip(outputs) {
+                    if y <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Selu => {
+                for (g, &y) in grad.iter_mut().zip(outputs) {
+                    // y > 0  => z > 0  => dy/dz = scale
+                    // y <= 0 => dy/dz = scale*alpha*exp(z) = y + scale*alpha
+                    let d = if y > 0.0 {
+                        SELU_SCALE
+                    } else {
+                        y + SELU_SCALE * SELU_ALPHA
+                    };
+                    *g *= d;
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &y) in grad.iter_mut().zip(outputs) {
+                    *g *= y * (1.0 - y);
+                }
+            }
+            Activation::Tanh => {
+                for (g, &y) in grad.iter_mut().zip(outputs) {
+                    *g *= 1.0 - y * y;
+                }
+            }
+            Activation::Softmax => {
+                assert!(
+                    group > 0 && outputs.len() % group == 0,
+                    "softmax group {group} must divide {}",
+                    outputs.len()
+                );
+                for (g_chunk, y_chunk) in grad.chunks_mut(group).zip(outputs.chunks(group)) {
+                    let dot: f32 = g_chunk.iter().zip(y_chunk).map(|(g, y)| g * y).sum();
+                    for (g, &y) in g_chunk.iter_mut().zip(y_chunk) {
+                        *g = y * (*g - dot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Short name used in summaries (matches the paper's abbreviations).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Activation::Linear => "lin",
+            Activation::Relu => "relu",
+            Activation::Selu => "selu",
+            Activation::Sigmoid => "sigm",
+            Activation::Tanh => "tanh",
+            Activation::Softmax => "sftm",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(act: Activation, z: f32) -> f32 {
+        let eps = 1e-3;
+        let mut hi = [z + eps];
+        let mut lo = [z - eps];
+        act.apply(&mut hi, 1);
+        act.apply(&mut lo, 1);
+        (hi[0] - lo[0]) / (2.0 * eps)
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut v = [-1.0, 0.0, 2.0];
+        Activation::Relu.apply(&mut v, 1);
+        assert_eq!(v, [0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn selu_matches_reference_values() {
+        let mut v = [1.0f32, -1.0];
+        Activation::Selu.apply(&mut v, 1);
+        assert!((v[0] - SELU_SCALE).abs() < 1e-6);
+        let expect = SELU_SCALE * SELU_ALPHA * ((-1.0f32).exp() - 1.0);
+        assert!((v[1] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_per_group() {
+        let mut v = [1.0, 2.0, 3.0, 1.0, 1.0, 1.0];
+        Activation::Softmax.apply(&mut v, 3);
+        let s1: f32 = v[..3].iter().sum();
+        let s2: f32 = v[3..].iter().sum();
+        assert!((s1 - 1.0).abs() < 1e-6);
+        assert!((s2 - 1.0).abs() < 1e-6);
+        assert!((v[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = [1.0, 2.0];
+        let mut b = [1001.0, 1002.0];
+        Activation::Softmax.apply(&mut a, 2);
+        Activation::Softmax.apply(&mut b, 2);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn elementwise_backward_matches_numeric() {
+        for act in [
+            Activation::Relu,
+            Activation::Selu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Linear,
+        ] {
+            for z in [-1.5f32, -0.3, 0.4, 1.2] {
+                if act == Activation::Relu && z.abs() < 0.01 {
+                    continue; // kink
+                }
+                let mut y = [z];
+                act.apply(&mut y, 1);
+                let mut g = [1.0f32];
+                act.backward(&y, &mut g, 1);
+                let num = numeric_grad(act, z);
+                assert!(
+                    (g[0] - num).abs() < 1e-2,
+                    "{act:?} at {z}: analytic {} numeric {num}",
+                    g[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_numeric() {
+        let z = [0.3f32, -0.8, 1.1];
+        let upstream = [0.5f32, -1.0, 2.0];
+        let mut y = z;
+        Activation::Softmax.apply(&mut y, 3);
+        let mut analytic = upstream;
+        Activation::Softmax.backward(&y, &mut analytic, 3);
+        // Numeric: d(sum_j upstream_j * y_j)/dz_i
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut hi = z;
+            hi[i] += eps;
+            Activation::Softmax.apply(&mut hi, 3);
+            let mut lo = z;
+            lo[i] -= eps;
+            Activation::Softmax.apply(&mut lo, 3);
+            let f_hi: f32 = hi.iter().zip(&upstream).map(|(a, b)| a * b).sum();
+            let f_lo: f32 = lo.iter().zip(&upstream).map(|(a, b)| a * b).sum();
+            let num = (f_hi - f_lo) / (2.0 * eps);
+            assert!(
+                (analytic[i] - num).abs() < 1e-3,
+                "i={i}: analytic {} numeric {num}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_backward_of_uniform_grad_is_zero() {
+        // Softmax outputs sum to 1, so a constant upstream gradient has no
+        // effect on the pre-activations.
+        let mut y = [0.1f32, 0.7, 1.3];
+        Activation::Softmax.apply(&mut y, 3);
+        let mut g = [2.5f32, 2.5, 2.5];
+        Activation::Softmax.backward(&y, &mut g, 3);
+        assert!(g.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax group")]
+    fn softmax_invalid_group_panics() {
+        let mut v = [1.0, 2.0, 3.0];
+        Activation::Softmax.apply(&mut v, 2);
+    }
+
+    #[test]
+    fn short_names_match_paper_figure_labels() {
+        assert_eq!(Activation::Softmax.short_name(), "sftm");
+        assert_eq!(Activation::Linear.short_name(), "lin");
+    }
+}

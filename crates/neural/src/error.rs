@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Error type for network construction, training and serialization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NeuralError {
+    /// A layer specification was inconsistent (e.g. kernel larger than the
+    /// input, zero units).
+    InvalidSpec(String),
+    /// Input data did not match the network's expected shapes.
+    ShapeMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// A dataset was empty or inconsistent.
+    InvalidDataset(String),
+    /// Training produced a non-finite loss (diverged).
+    Diverged {
+        /// The epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// Weight import failed (wrong tensor count or sizes).
+    InvalidWeights(String),
+    /// JSON (de)serialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for NeuralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuralError::InvalidSpec(msg) => write!(f, "invalid layer spec: {msg}"),
+            NeuralError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            NeuralError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            NeuralError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch}")
+            }
+            NeuralError::InvalidWeights(msg) => write!(f, "invalid weights: {msg}"),
+            NeuralError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NeuralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NeuralError::InvalidSpec("x".into()).to_string().contains("x"));
+        assert_eq!(
+            NeuralError::ShapeMismatch {
+                expected: 4,
+                actual: 2
+            }
+            .to_string(),
+            "shape mismatch: expected 4, got 2"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuralError>();
+    }
+}

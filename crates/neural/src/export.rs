@@ -1,0 +1,186 @@
+//! Portable network export for embedded deployment.
+//!
+//! The paper's Tool 4 includes "a tool to export the desired ANN for use
+//! on embedded platforms". [`ExportedNetwork`] bundles the topology spec
+//! with the trained weights into one JSON document the embedded runtime
+//! (or the [`platform`] performance model) can load.
+//!
+//! [`platform`]: https://docs.rs/platform
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::NetworkSpec;
+use crate::{Network, NeuralError};
+
+/// Format version written into every export.
+pub const EXPORT_FORMAT_VERSION: u32 = 1;
+
+/// A self-contained trained-network artifact.
+///
+/// # Example
+///
+/// ```
+/// use neural::export::ExportedNetwork;
+/// use neural::spec::{LayerSpec, NetworkSpec};
+/// use neural::Activation;
+///
+/// # fn main() -> Result<(), neural::NeuralError> {
+/// let spec = NetworkSpec::new(4).layer(LayerSpec::Dense {
+///     units: 2,
+///     activation: Activation::Softmax,
+/// });
+/// let mut net = spec.build(3)?;
+/// let exported = ExportedNetwork::from_network(spec, &net, "demo");
+/// let json = exported.to_json()?;
+/// let mut restored = ExportedNetwork::from_json(&json)?.instantiate()?;
+/// assert_eq!(net.predict(&[0.1, 0.2, 0.3, 0.4]),
+///            restored.predict(&[0.1, 0.2, 0.3, 0.4]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExportedNetwork {
+    /// Format version for forward compatibility.
+    pub format_version: u32,
+    /// Free-form model name.
+    pub name: String,
+    /// The topology.
+    pub spec: NetworkSpec,
+    /// Per-layer parameter tensors.
+    pub weights: Vec<Vec<Vec<f32>>>,
+}
+
+impl ExportedNetwork {
+    /// Captures `network`'s weights together with its `spec`.
+    pub fn from_network(spec: NetworkSpec, network: &Network, name: impl Into<String>) -> Self {
+        Self {
+            format_version: EXPORT_FORMAT_VERSION,
+            name: name.into(),
+            spec,
+            weights: network.export_weights(),
+        }
+    }
+
+    /// Rebuilds a runnable network with the stored weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidSpec`] if the spec no longer builds,
+    /// or [`NeuralError::InvalidWeights`] if the weights do not fit it.
+    pub fn instantiate(&self) -> Result<Network, NeuralError> {
+        let mut network = self.spec.build(0)?;
+        network.import_weights(&self.weights)?;
+        Ok(network)
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::Serde`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, NeuralError> {
+        serde_json::to_string(self).map_err(|e| NeuralError::Serde(e.to_string()))
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::Serde`] on malformed input or an unsupported
+    /// format version.
+    pub fn from_json(json: &str) -> Result<Self, NeuralError> {
+        let parsed: Self =
+            serde_json::from_str(json).map_err(|e| NeuralError::Serde(e.to_string()))?;
+        if parsed.format_version != EXPORT_FORMAT_VERSION {
+            return Err(NeuralError::Serde(format!(
+                "unsupported format version {}",
+                parsed.format_version
+            )));
+        }
+        Ok(parsed)
+    }
+
+    /// Total number of exported scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights
+            .iter()
+            .flat_map(|layer| layer.iter())
+            .map(|tensor| tensor.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerSpec;
+    use crate::Activation;
+
+    fn demo_spec() -> NetworkSpec {
+        NetworkSpec::new(6)
+            .layer(LayerSpec::Reshape { channels: 1 })
+            .layer(LayerSpec::Conv1d {
+                filters: 2,
+                kernel: 3,
+                stride: 1,
+                activation: Activation::Selu,
+            })
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense {
+                units: 2,
+                activation: Activation::Softmax,
+            })
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let spec = demo_spec();
+        let mut net = spec.build(11).unwrap();
+        let exported = ExportedNetwork::from_network(spec, &net, "test-model");
+        let json = exported.to_json().unwrap();
+        let mut restored = ExportedNetwork::from_json(&json).unwrap().instantiate().unwrap();
+        let x = [0.1, -0.2, 0.3, 0.4, -0.5, 0.6];
+        assert_eq!(net.predict(&x), restored.predict(&x));
+    }
+
+    #[test]
+    fn parameter_count_matches_network() {
+        let spec = demo_spec();
+        let net = spec.build(1).unwrap();
+        let exported = ExportedNetwork::from_network(spec, &net, "m");
+        assert_eq!(exported.parameter_count(), net.param_count());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let spec = demo_spec();
+        let net = spec.build(1).unwrap();
+        let mut exported = ExportedNetwork::from_network(spec, &net, "m");
+        exported.format_version = 99;
+        let json = serde_json::to_string(&exported).unwrap();
+        assert!(matches!(
+            ExportedNetwork::from_json(&json),
+            Err(NeuralError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(
+            ExportedNetwork::from_json("{not json"),
+            Err(NeuralError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_weights_fail_instantiation() {
+        let spec = demo_spec();
+        let net = spec.build(1).unwrap();
+        let mut exported = ExportedNetwork::from_network(spec, &net, "m");
+        exported.weights.pop();
+        assert!(matches!(
+            exported.instantiate(),
+            Err(NeuralError::InvalidWeights(_))
+        ));
+    }
+}

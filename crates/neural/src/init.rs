@@ -1,0 +1,126 @@
+//! Weight initializers.
+//!
+//! The scheme is chosen per activation: He-normal for ReLU, LeCun-normal
+//! for SELU (required for self-normalization), Glorot-uniform otherwise —
+//! the same defaults the paper's Keras models would have used.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::Activation;
+
+/// The weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// He normal: `N(0, sqrt(2 / fan_in))` — for ReLU.
+    HeNormal,
+    /// LeCun normal: `N(0, sqrt(1 / fan_in))` — for SELU.
+    LecunNormal,
+    /// Glorot uniform: `U(-l, l)` with `l = sqrt(6 / (fan_in + fan_out))`.
+    GlorotUniform,
+}
+
+impl Init {
+    /// The recommended initializer for a given activation.
+    pub fn for_activation(activation: Activation) -> Self {
+        match activation {
+            Activation::Relu => Init::HeNormal,
+            Activation::Selu => Init::LecunNormal,
+            _ => Init::GlorotUniform,
+        }
+    }
+
+    /// Fills `weights` with samples from the scheme.
+    pub fn fill(&self, weights: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut ChaCha8Rng) {
+        let fan_in = fan_in.max(1) as f32;
+        let fan_out = fan_out.max(1) as f32;
+        match self {
+            Init::HeNormal => {
+                let sd = (2.0 / fan_in).sqrt();
+                for w in weights.iter_mut() {
+                    *w = sd * normal(rng);
+                }
+            }
+            Init::LecunNormal => {
+                let sd = (1.0 / fan_in).sqrt();
+                for w in weights.iter_mut() {
+                    *w = sd * normal(rng);
+                }
+            }
+            Init::GlorotUniform => {
+                let limit = (6.0 / (fan_in + fan_out)).sqrt();
+                for w in weights.iter_mut() {
+                    *w = rng.gen_range(-limit..limit);
+                }
+            }
+        }
+    }
+}
+
+fn normal(rng: &mut ChaCha8Rng) -> f32 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn stats(values: &[f32]) -> (f32, f32) {
+        let mean = values.iter().sum::<f32>() / values.len() as f32;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn he_normal_variance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut w = vec![0.0; 50_000];
+        Init::HeNormal.fill(&mut w, 100, 50, &mut rng);
+        let (mean, sd) = stats(&w);
+        assert!(mean.abs() < 0.01);
+        assert!((sd - (2.0f32 / 100.0).sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn lecun_normal_variance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut w = vec![0.0; 50_000];
+        Init::LecunNormal.fill(&mut w, 64, 64, &mut rng);
+        let (_, sd) = stats(&w);
+        assert!((sd - 0.125).abs() < 0.01);
+    }
+
+    #[test]
+    fn glorot_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut w = vec![0.0; 10_000];
+        Init::GlorotUniform.fill(&mut w, 10, 20, &mut rng);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= limit));
+        let (mean, _) = stats(&w);
+        assert!(mean.abs() < 0.02);
+    }
+
+    #[test]
+    fn activation_mapping() {
+        assert_eq!(Init::for_activation(Activation::Relu), Init::HeNormal);
+        assert_eq!(Init::for_activation(Activation::Selu), Init::LecunNormal);
+        assert_eq!(
+            Init::for_activation(Activation::Softmax),
+            Init::GlorotUniform
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        Init::HeNormal.fill(&mut a, 4, 4, &mut ChaCha8Rng::seed_from_u64(9));
+        Init::HeNormal.fill(&mut b, 4, 4, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

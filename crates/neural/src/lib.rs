@@ -1,0 +1,68 @@
+//! A from-scratch `f32` neural-network framework.
+//!
+//! This crate substitutes for the TensorFlow/Keras stack of the paper
+//! (DESIGN.md §2). It implements exactly the ingredients the paper's
+//! networks need — nothing more, nothing speculative:
+//!
+//! * layers: [`layers::Dense`], [`layers::Conv1d`],
+//!   [`layers::LocallyConnected1d`], [`layers::Lstm`],
+//!   [`layers::MaxPool1d`], [`layers::AvgPool1d`], [`layers::Dropout`],
+//!   [`layers::Flatten`], [`layers::Reshape`];
+//! * activations: ReLU, SELU, Softmax, Linear, Sigmoid, Tanh
+//!   ([`Activation`]);
+//! * losses: mean absolute error (the paper's MS training loss) and mean
+//!   squared error ([`Loss`]);
+//! * optimizers: SGD with momentum and Adam ([`optim`]);
+//! * config-driven topologies ([`spec::NetworkSpec`]) so that networks can
+//!   be defined "without modifying the source code" (paper §III.A.2);
+//! * training with validation tracking ([`train::Trainer`]) and JSON
+//!   weight export for embedded deployment ([`export`]).
+//!
+//! # Example
+//!
+//! Train a tiny regression network:
+//!
+//! ```
+//! use neural::spec::{LayerSpec, NetworkSpec};
+//! use neural::train::{Dataset, TrainConfig, Trainer};
+//! use neural::{Activation, Loss};
+//!
+//! # fn main() -> Result<(), neural::NeuralError> {
+//! let spec = NetworkSpec::new(2)
+//!     .layer(LayerSpec::Dense { units: 8, activation: Activation::Relu })
+//!     .layer(LayerSpec::Dense { units: 1, activation: Activation::Linear });
+//! let mut network = spec.build(42)?;
+//!
+//! // Learn f(a, b) = a + b.
+//! let inputs: Vec<Vec<f32>> = (0..64)
+//!     .map(|i| vec![(i % 8) as f32 / 8.0, (i / 8) as f32 / 8.0])
+//!     .collect();
+//! let targets: Vec<Vec<f32>> = inputs.iter().map(|v| vec![v[0] + v[1]]).collect();
+//! let data = Dataset::new(inputs, targets)?;
+//!
+//! let config = TrainConfig { epochs: 200, batch_size: 8, ..TrainConfig::default() };
+//! let history = Trainer::new(config).fit(&mut network, &data, None)?;
+//! assert!(history.final_train_loss() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod export;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod spec;
+pub mod train;
+
+mod error;
+
+pub use activation::Activation;
+pub use error::NeuralError;
+pub use loss::Loss;
+pub use network::Network;

@@ -1,0 +1,143 @@
+//! Loss functions.
+//!
+//! The paper trains its MS networks with mean absolute error ("we used the
+//! mean absolute error (MAE) as loss function", §III.A.2) and compares the
+//! NMR models by mean squared error.
+
+use serde::{Deserialize, Serialize};
+
+/// A training loss: value plus gradient w.r.t. the prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean absolute error (the paper's MS training loss).
+    Mae,
+    /// Mean squared error (the paper's NMR comparison metric).
+    Mse,
+}
+
+impl Loss {
+    /// Computes the loss value for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or are zero.
+    pub fn value(&self, prediction: &[f32], target: &[f32]) -> f32 {
+        assert_eq!(prediction.len(), target.len(), "loss length mismatch");
+        assert!(!prediction.is_empty(), "loss of empty vectors");
+        let n = prediction.len() as f32;
+        match self {
+            Loss::Mae => {
+                prediction
+                    .iter()
+                    .zip(target)
+                    .map(|(p, t)| (p - t).abs())
+                    .sum::<f32>()
+                    / n
+            }
+            Loss::Mse => {
+                prediction
+                    .iter()
+                    .zip(target)
+                    .map(|(p, t)| (p - t) * (p - t))
+                    .sum::<f32>()
+                    / n
+            }
+        }
+    }
+
+    /// Computes the gradient of the loss w.r.t. the prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or are zero.
+    pub fn gradient(&self, prediction: &[f32], target: &[f32]) -> Vec<f32> {
+        assert_eq!(prediction.len(), target.len(), "loss length mismatch");
+        assert!(!prediction.is_empty(), "loss of empty vectors");
+        let n = prediction.len() as f32;
+        match self {
+            Loss::Mae => prediction
+                .iter()
+                .zip(target)
+                .map(|(p, t)| {
+                    if p > t {
+                        1.0 / n
+                    } else if p < t {
+                        -1.0 / n
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            Loss::Mse => prediction
+                .iter()
+                .zip(target)
+                .map(|(p, t)| 2.0 * (p - t) / n)
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Loss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Loss::Mae => f.write_str("mae"),
+            Loss::Mse => f.write_str("mse"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_value_and_gradient() {
+        let p = [2.0f32, 0.0];
+        let t = [0.0f32, 1.0];
+        assert_eq!(Loss::Mae.value(&p, &t), 1.5);
+        assert_eq!(Loss::Mae.gradient(&p, &t), vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = [3.0f32, 0.0];
+        let t = [0.0f32, 0.0];
+        assert_eq!(Loss::Mse.value(&p, &t), 4.5);
+        assert_eq!(Loss::Mse.gradient(&p, &t), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_loss_at_target() {
+        let t = [0.3f32, -0.7];
+        assert_eq!(Loss::Mae.value(&t, &t), 0.0);
+        assert_eq!(Loss::Mse.value(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn gradient_is_descent_direction() {
+        // Moving against the gradient must reduce the loss.
+        let p = [1.0f32, -2.0];
+        let t = [0.5f32, 0.5];
+        for loss in [Loss::Mae, Loss::Mse] {
+            let g = loss.gradient(&p, &t);
+            let stepped: Vec<f32> = p.iter().zip(&g).map(|(x, gi)| x - 0.1 * gi).collect();
+            assert!(loss.value(&stepped, &t) < loss.value(&p, &t), "{loss}");
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_numeric() {
+        let p = [0.8f32, -0.1, 0.4];
+        let t = [1.0f32, 0.0, 0.0];
+        let g = Loss::Mse.gradient(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut hi = p;
+            hi[i] += eps;
+            let mut lo = p;
+            lo[i] -= eps;
+            let num = (Loss::Mse.value(&hi, &t) - Loss::Mse.value(&lo, &t)) / (2.0 * eps);
+            assert!((g[i] - num).abs() < 1e-3);
+        }
+    }
+}

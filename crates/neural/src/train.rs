@@ -1,0 +1,476 @@
+//! Datasets and the training loop.
+//!
+//! Mirrors the paper's Tool 4 workflow: datasets split 80/20 into training
+//! and test portions (§III.A.2), whole-run training "without user
+//! interaction", validation tracking, and best-network selection by a
+//! quality criterion.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::optim::OptimizerSpec;
+use crate::{Loss, Network, NeuralError};
+
+/// A supervised dataset of flat `f32` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    inputs: Vec<Vec<f32>>,
+    targets: Vec<Vec<f32>>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidDataset`] if the collections are
+    /// empty, differ in length, or samples have inconsistent widths.
+    pub fn new(inputs: Vec<Vec<f32>>, targets: Vec<Vec<f32>>) -> Result<Self, NeuralError> {
+        if inputs.is_empty() {
+            return Err(NeuralError::InvalidDataset("no samples".into()));
+        }
+        if inputs.len() != targets.len() {
+            return Err(NeuralError::InvalidDataset(format!(
+                "{} inputs vs {} targets",
+                inputs.len(),
+                targets.len()
+            )));
+        }
+        let in_width = inputs[0].len();
+        let out_width = targets[0].len();
+        if in_width == 0 || out_width == 0 {
+            return Err(NeuralError::InvalidDataset("zero-width samples".into()));
+        }
+        for (i, (x, t)) in inputs.iter().zip(&targets).enumerate() {
+            if x.len() != in_width || t.len() != out_width {
+                return Err(NeuralError::InvalidDataset(format!(
+                    "sample {i} has inconsistent width"
+                )));
+            }
+        }
+        Ok(Self { inputs, targets })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` if the dataset has no samples (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Input width.
+    pub fn input_width(&self) -> usize {
+        self.inputs[0].len()
+    }
+
+    /// Target width.
+    pub fn target_width(&self) -> usize {
+        self.targets[0].len()
+    }
+
+    /// The input samples.
+    pub fn inputs(&self) -> &[Vec<f32>] {
+        &self.inputs
+    }
+
+    /// The target samples.
+    pub fn targets(&self) -> &[Vec<f32>] {
+        &self.targets
+    }
+
+    /// Splits into `(front, back)` with `front` holding `fraction` of the
+    /// samples (the paper's 80/20 train/test split uses `0.8`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidDataset`] if either side would be
+    /// empty.
+    pub fn split(&self, fraction: f64) -> Result<(Dataset, Dataset), NeuralError> {
+        let cut = (self.len() as f64 * fraction).round() as usize;
+        if cut == 0 || cut >= self.len() {
+            return Err(NeuralError::InvalidDataset(format!(
+                "split fraction {fraction} leaves an empty side"
+            )));
+        }
+        Ok((
+            Dataset {
+                inputs: self.inputs[..cut].to_vec(),
+                targets: self.targets[..cut].to_vec(),
+            },
+            Dataset {
+                inputs: self.inputs[cut..].to_vec(),
+                targets: self.targets[cut..].to_vec(),
+            },
+        ))
+    }
+
+    /// A copy with samples shuffled by `seed`.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        Dataset {
+            inputs: order.iter().map(|&i| self.inputs[i].clone()).collect(),
+            targets: order.iter().map(|&i| self.targets[i].clone()).collect(),
+        }
+    }
+
+    /// Mean loss of `network` over the dataset (evaluation mode).
+    pub fn evaluate(&self, network: &mut Network, loss: Loss) -> f32 {
+        let total: f32 = self
+            .inputs
+            .iter()
+            .zip(&self.targets)
+            .map(|(x, t)| loss.value(&network.predict(x), t))
+            .sum();
+        total / self.len() as f32
+    }
+
+    /// Per-output-column mean absolute error over the dataset — the
+    /// per-substance error bars of the paper's Figures 5–7.
+    pub fn per_output_mae(&self, network: &mut Network) -> Vec<f64> {
+        let width = self.target_width();
+        let mut acc = vec![0.0f64; width];
+        for (x, t) in self.inputs.iter().zip(&self.targets) {
+            let y = network.predict(x);
+            for c in 0..width {
+                acc[c] += (y[c] - t[c]).abs() as f64;
+            }
+        }
+        for v in &mut acc {
+            *v /= self.len() as f64;
+        }
+        acc
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Gradient-accumulation batch size.
+    pub batch_size: usize,
+    /// Optimizer choice.
+    pub optimizer: OptimizerSpec,
+    /// Loss function.
+    pub loss: Loss,
+    /// Shuffle the training data each epoch.
+    pub shuffle: bool,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    /// Restore the best-validation weights after training (needs a
+    /// validation set).
+    pub restore_best: bool,
+    /// Stop as soon as the validation loss reaches this target (needs a
+    /// validation set) — the paper's "mean error of no more than 0.005 on
+    /// the validation data ... as target for the network" workflow.
+    pub stop_at_val_loss: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            optimizer: OptimizerSpec::default(),
+            loss: Loss::Mae,
+            shuffle: true,
+            seed: 0,
+            restore_best: true,
+            stop_at_val_loss: None,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct History {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Mean validation loss per epoch (empty without a validation set).
+    pub val_loss: Vec<f32>,
+    /// Epoch index of the best validation loss, if tracked.
+    pub best_epoch: Option<usize>,
+}
+
+impl History {
+    /// Training loss of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epochs were run.
+    pub fn final_train_loss(&self) -> f32 {
+        *self.train_loss.last().expect("at least one epoch")
+    }
+
+    /// Best validation loss, if a validation set was provided.
+    pub fn best_val_loss(&self) -> Option<f32> {
+        self.best_epoch.map(|e| self.val_loss[e])
+    }
+}
+
+/// Runs the training loop.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `network` on `train`, optionally tracking `validation`.
+    ///
+    /// With `restore_best` set and a validation set given, the network is
+    /// left with the weights of its best validation epoch (the paper:
+    /// "the network with the best performance on the experimental
+    /// validation dataset was selected").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if the dataset widths do not
+    /// match the network, or [`NeuralError::Diverged`] if a non-finite
+    /// loss appears.
+    pub fn fit(
+        &self,
+        network: &mut Network,
+        train: &Dataset,
+        validation: Option<&Dataset>,
+    ) -> Result<History, NeuralError> {
+        if train.input_width() != network.input_len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: network.input_len(),
+                actual: train.input_width(),
+            });
+        }
+        if train.target_width() != network.output_len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: network.output_len(),
+                actual: train.target_width(),
+            });
+        }
+        let mut optimizer = self.config.optimizer.build();
+        let mut history = History {
+            train_loss: Vec::with_capacity(self.config.epochs),
+            val_loss: Vec::new(),
+            best_epoch: None,
+        };
+        let mut best: Option<(f32, Vec<Vec<Vec<f32>>>)> = None;
+
+        for epoch in 0..self.config.epochs {
+            let data = if self.config.shuffle {
+                train.shuffled(self.config.seed.wrapping_add(epoch as u64))
+            } else {
+                train.clone()
+            };
+            let mut epoch_loss = 0.0f64;
+            let mut processed = 0usize;
+            while processed < data.len() {
+                let end = (processed + self.config.batch_size).min(data.len());
+                network.zero_grads();
+                for i in processed..end {
+                    let value =
+                        network.train_step(&data.inputs[i], &data.targets[i], self.config.loss);
+                    if !value.is_finite() {
+                        return Err(NeuralError::Diverged { epoch });
+                    }
+                    epoch_loss += value as f64;
+                }
+                network.apply_gradients(optimizer.as_mut(), end - processed);
+                processed = end;
+            }
+            history
+                .train_loss
+                .push((epoch_loss / data.len() as f64) as f32);
+
+            if let Some(val) = validation {
+                let v = val.evaluate(network, self.config.loss);
+                if !v.is_finite() {
+                    return Err(NeuralError::Diverged { epoch });
+                }
+                history.val_loss.push(v);
+                let improved = best.as_ref().map_or(true, |(b, _)| v < *b);
+                if improved {
+                    best = Some((v, network.export_weights()));
+                    history.best_epoch = Some(epoch);
+                }
+                if let Some(target) = self.config.stop_at_val_loss {
+                    if v <= target {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if self.config.restore_best {
+            if let Some((_, weights)) = best {
+                network.import_weights(&weights)?;
+            }
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LayerSpec, NetworkSpec};
+    use crate::Activation;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        // y = 0.5 a + 0.2 b
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let a = (i % 10) as f32 / 10.0;
+                let b = ((i / 10) % 10) as f32 / 10.0;
+                vec![a, b]
+            })
+            .collect();
+        let targets = inputs
+            .iter()
+            .map(|v| vec![0.5 * v[0] + 0.2 * v[1]])
+            .collect();
+        Dataset::new(inputs, targets).unwrap()
+    }
+
+    fn small_net() -> Network {
+        NetworkSpec::new(2)
+            .layer(LayerSpec::Dense {
+                units: 1,
+                activation: Activation::Linear,
+            })
+            .build(1)
+            .unwrap()
+    }
+
+    #[test]
+    fn dataset_validation() {
+        assert!(Dataset::new(vec![], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0]], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![vec![1.0]; 2]).is_err());
+        assert!(Dataset::new(vec![vec![]], vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn split_fractions() {
+        let data = linear_dataset(100);
+        let (train, test) = data.split(0.8).unwrap();
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert!(data.split(0.0).is_err());
+        assert!(data.split(1.0).is_err());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let data = linear_dataset(50);
+        let shuffled = data.shuffled(4);
+        assert_eq!(shuffled.len(), data.len());
+        let mut original: Vec<_> = data.inputs().to_vec();
+        let mut after: Vec<_> = shuffled.inputs().to_vec();
+        original.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        after.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(original, after);
+        assert_ne!(data.inputs(), shuffled.inputs());
+    }
+
+    #[test]
+    fn training_learns_linear_map() {
+        let data = linear_dataset(200);
+        let mut net = small_net();
+        let config = TrainConfig {
+            epochs: 150,
+            batch_size: 16,
+            loss: Loss::Mse,
+            ..TrainConfig::default()
+        };
+        let history = Trainer::new(config).fit(&mut net, &data, None).unwrap();
+        assert!(history.final_train_loss() < 1e-3);
+        let pred = net.predict(&[1.0, 1.0]);
+        assert!((pred[0] - 0.7).abs() < 0.05, "prediction {}", pred[0]);
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let data = linear_dataset(100);
+        let mut net = small_net();
+        let config = TrainConfig {
+            epochs: 40,
+            batch_size: 10,
+            loss: Loss::Mae,
+            ..TrainConfig::default()
+        };
+        let history = Trainer::new(config).fit(&mut net, &data, None).unwrap();
+        let first = history.train_loss[0];
+        let last = history.final_train_loss();
+        assert!(last < first, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn validation_tracking_selects_best_epoch() {
+        let data = linear_dataset(120);
+        let (train, val) = data.split(0.75).unwrap();
+        let mut net = small_net();
+        let config = TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            loss: Loss::Mse,
+            ..TrainConfig::default()
+        };
+        let history = Trainer::new(config)
+            .fit(&mut net, &train, Some(&val))
+            .unwrap();
+        assert_eq!(history.val_loss.len(), 30);
+        let best = history.best_val_loss().unwrap();
+        // Restored network matches the best epoch's validation loss.
+        let actual = val.evaluate(&mut net, Loss::Mse);
+        assert!((actual - best).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let data = linear_dataset(10);
+        let mut wrong_net = NetworkSpec::new(3)
+            .layer(LayerSpec::Dense {
+                units: 1,
+                activation: Activation::Linear,
+            })
+            .build(1)
+            .unwrap();
+        let result = Trainer::new(TrainConfig::default()).fit(&mut wrong_net, &data, None);
+        assert!(matches!(result, Err(NeuralError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn per_output_mae_has_target_width() {
+        let data = linear_dataset(20);
+        let mut net = small_net();
+        let mae = data.per_output_mae(&mut net);
+        assert_eq!(mae.len(), 1);
+        assert!(mae[0] >= 0.0);
+    }
+
+    #[test]
+    fn evaluate_of_perfect_network_is_zero() {
+        let inputs = vec![vec![1.0f32, 0.0], vec![0.0, 1.0]];
+        let targets = vec![vec![1.0f32], vec![0.0]];
+        let data = Dataset::new(inputs, targets).unwrap();
+        let mut net = small_net();
+        // Force exact weights: y = 1*a + 0*b.
+        net.import_weights(&[vec![vec![1.0, 0.0], vec![0.0]]]).unwrap();
+        assert_eq!(data.evaluate(&mut net, Loss::Mae), 0.0);
+    }
+}

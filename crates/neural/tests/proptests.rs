@@ -1,0 +1,107 @@
+//! Property-based tests for the neural framework.
+
+use neural::spec::{LayerSpec, NetworkSpec};
+use neural::{Activation, Loss};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_output_always_sums_to_one(input in finite_vec(12), seed in 0u64..1000) {
+        let mut net = NetworkSpec::new(12)
+            .layer(LayerSpec::Dense { units: 5, activation: Activation::Softmax })
+            .build(seed)
+            .expect("valid spec");
+        let out = net.predict(&input);
+        let sum: f32 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn relu_outputs_are_non_negative(input in finite_vec(8), seed in 0u64..1000) {
+        let mut net = NetworkSpec::new(8)
+            .layer(LayerSpec::Dense { units: 6, activation: Activation::Relu })
+            .build(seed)
+            .expect("valid spec");
+        let out = net.predict(&input);
+        prop_assert!(out.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn prediction_is_deterministic(input in finite_vec(10), seed in 0u64..1000) {
+        let mut net = NetworkSpec::new(10)
+            .layer(LayerSpec::Dense { units: 4, activation: Activation::Tanh })
+            .layer(LayerSpec::Dense { units: 2, activation: Activation::Linear })
+            .build(seed)
+            .expect("valid spec");
+        let a = net.predict(&input);
+        let b = net.predict(&input);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv_output_shape_formula_holds(
+        len in 10usize..64, kernel in 1usize..10, stride in 1usize..5, seed in 0u64..100
+    ) {
+        prop_assume!(kernel <= len);
+        let net = NetworkSpec::new(len)
+            .layer(LayerSpec::Reshape { channels: 1 })
+            .layer(LayerSpec::Conv1d {
+                filters: 3, kernel, stride, activation: Activation::Linear,
+            })
+            .build(seed)
+            .expect("valid spec");
+        let expected = (len - kernel) / stride + 1;
+        prop_assert_eq!(net.output_len(), 3 * expected);
+    }
+
+    #[test]
+    fn losses_are_non_negative_and_zero_at_target(target in finite_vec(6), pred in finite_vec(6)) {
+        for loss in [Loss::Mae, Loss::Mse] {
+            prop_assert!(loss.value(&pred, &target) >= 0.0);
+            prop_assert_eq!(loss.value(&target, &target), 0.0);
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss(target in finite_vec(4), pred in finite_vec(4)) {
+        // Skip the degenerate already-perfect case.
+        let differs = pred.iter().zip(&target).any(|(p, t)| (p - t).abs() > 1e-3);
+        prop_assume!(differs);
+        for loss in [Loss::Mae, Loss::Mse] {
+            let g = loss.gradient(&pred, &target);
+            let stepped: Vec<f32> = pred.iter().zip(&g).map(|(p, gi)| p - 1e-3 * gi).collect();
+            prop_assert!(loss.value(&stepped, &target) <= loss.value(&pred, &target) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrip_any_seed(seed in 0u64..5000, input in finite_vec(6)) {
+        let spec = NetworkSpec::new(6)
+            .layer(LayerSpec::Dense { units: 3, activation: Activation::Selu })
+            .layer(LayerSpec::Dense { units: 2, activation: Activation::Softmax });
+        let mut net = spec.build(seed).expect("valid spec");
+        let exported = neural::export::ExportedNetwork::from_network(spec, &net, "prop");
+        let mut restored = exported.instantiate().expect("instantiable");
+        prop_assert_eq!(net.predict(&input), restored.predict(&input));
+    }
+
+    #[test]
+    fn network_param_count_matches_summary(seed in 0u64..100) {
+        let net = NetworkSpec::new(30)
+            .layer(LayerSpec::Reshape { channels: 1 })
+            .layer(LayerSpec::Conv1d { filters: 4, kernel: 5, stride: 2, activation: Activation::Relu })
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense { units: 3, activation: Activation::Linear })
+            .build(seed)
+            .expect("valid spec");
+        let from_summary: usize = net.summary().iter().map(|r| r.parameters).sum();
+        prop_assert_eq!(net.param_count(), from_summary);
+    }
+}

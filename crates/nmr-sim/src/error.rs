@@ -1,0 +1,62 @@
+use std::fmt;
+
+use chem::ChemError;
+use spectrum::SpectrumError;
+
+/// Error type for the NMR simulation crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NmrSimError {
+    /// A chemical-domain error (reaction conditions, components).
+    Chem(ChemError),
+    /// A spectral-processing error.
+    Spectrum(SpectrumError),
+    /// An augmentation or sequencing parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NmrSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NmrSimError::Chem(err) => write!(f, "chemistry error: {err}"),
+            NmrSimError::Spectrum(err) => write!(f, "spectrum error: {err}"),
+            NmrSimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NmrSimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NmrSimError::Chem(err) => Some(err),
+            NmrSimError::Spectrum(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChemError> for NmrSimError {
+    fn from(err: ChemError) -> Self {
+        NmrSimError::Chem(err)
+    }
+}
+
+impl From<SpectrumError> for NmrSimError {
+    fn from(err: SpectrumError) -> Self {
+        NmrSimError::Spectrum(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let err = NmrSimError::from(SpectrumError::Empty);
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(NmrSimError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

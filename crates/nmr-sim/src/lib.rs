@@ -1,0 +1,63 @@
+//! The NMR use case of the paper's second project: machine-assisted model
+//! building for online low-field NMR of a lithiation reaction.
+//!
+//! The paper's workflow (§III.B, Figure 8) maps onto this crate:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | flow reactor + medium-resolution NMR producing 300 raw spectra | [`experiment`] |
+//! | high-field NMR reference channel | [`experiment`] (reference concentrations) |
+//! | "enhanced to 300.000 spectra on basis of a physically motivated simulation method" | [`augment`] |
+//! | time-series windows + plateau-repeat augmentation for the LSTM | [`sequence`] |
+//!
+//! The experimental generator hides effects (composition-correlated peak
+//! shifts, baseline distortion, per-spectrum broadening) that make the
+//! IHM / CNN / LSTM comparison non-trivial, per DESIGN.md §2.
+//!
+//! # Example
+//!
+//! ```
+//! use nmr_sim::experiment::{ExperimentConfig, FlowReactorExperiment};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let experiment = FlowReactorExperiment::new(7, ExperimentConfig::default());
+//! let run = experiment.acquire()?;
+//! assert_eq!(run.spectra.len(), 300);
+//! assert_eq!(run.reference[0].len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod experiment;
+pub mod sequence;
+
+mod error;
+
+pub use error::NmrSimError;
+
+use spectrum::UniformAxis;
+
+/// The spectral axis of the medium-resolution instrument: 0–12 ppm over
+/// **1700 points**. This length is load-bearing: it makes the paper's CNN
+/// have exactly 10 532 and its LSTM exactly 221 956 parameters
+/// (DESIGN.md §5).
+pub fn nmr_axis() -> UniformAxis {
+    UniformAxis::new(0.0, 12.0 / 1699.0, 1700).expect("static axis is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_has_1700_points_over_12_ppm() {
+        let axis = nmr_axis();
+        assert_eq!(axis.len(), 1700);
+        assert_eq!(axis.start(), 0.0);
+        assert!((axis.stop() - 12.0).abs() < 1e-9);
+    }
+}

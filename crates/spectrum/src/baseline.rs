@@ -1,0 +1,183 @@
+//! Polynomial baseline estimation and removal.
+//!
+//! Real spectra ride on slowly varying baselines (drift, probe background).
+//! The characterization tools estimate them; the preprocessing for
+//! chemometric baselines removes them.
+
+use crate::linalg::{lstsq, Matrix};
+use crate::{ContinuousSpectrum, SpectrumError};
+
+/// Fits a polynomial of the given `degree` to the spectrum samples by
+/// least squares and returns its coefficients (constant term first).
+/// The abscissa is normalized to `[-1, 1]` for conditioning, so the
+/// coefficients refer to that normalized variable; use
+/// [`evaluate_polynomial`] with the same spectrum to apply them.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidValue`] if `degree + 1` exceeds the
+/// number of samples, or [`SpectrumError::Singular`] if the fit is
+/// degenerate.
+pub fn fit_polynomial(
+    spectrum: &ContinuousSpectrum,
+    degree: usize,
+) -> Result<Vec<f64>, SpectrumError> {
+    let n = spectrum.len();
+    if degree + 1 > n {
+        return Err(SpectrumError::InvalidValue(format!(
+            "degree {degree} needs more than {n} samples"
+        )));
+    }
+    let mut design = Matrix::zeros(n, degree + 1);
+    for i in 0..n {
+        let t = normalized_abscissa(n, i);
+        let mut p = 1.0;
+        for d in 0..=degree {
+            design.set(i, d, p);
+            p *= t;
+        }
+    }
+    lstsq(&design, spectrum.intensities(), 1e-12)
+}
+
+/// Evaluates polynomial `coefficients` (from [`fit_polynomial`]) over the
+/// sample indices of a spectrum of length `len`.
+pub fn evaluate_polynomial(coefficients: &[f64], len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let t = normalized_abscissa(len, i);
+            let mut p = 1.0;
+            let mut acc = 0.0;
+            for &c in coefficients {
+                acc += c * p;
+                p *= t;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Estimates a robust baseline by iteratively fitting a polynomial and
+/// clipping samples that rise above the fit (so genuine peaks do not drag
+/// the baseline upward), then returns the baseline-corrected spectrum and
+/// the estimated baseline.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying polynomial fits.
+pub fn remove_baseline(
+    spectrum: &ContinuousSpectrum,
+    degree: usize,
+    iterations: usize,
+) -> Result<(ContinuousSpectrum, Vec<f64>), SpectrumError> {
+    let mut work = spectrum.clone();
+    let mut baseline = vec![0.0; spectrum.len()];
+    for _ in 0..iterations.max(1) {
+        let coef = fit_polynomial(&work, degree)?;
+        baseline = evaluate_polynomial(&coef, spectrum.len());
+        // Clip: samples above the running fit are replaced by the fit so the
+        // next iteration tracks the underlying baseline, not the peaks.
+        for (w, (&orig, &base)) in work
+            .intensities_mut()
+            .iter_mut()
+            .zip(spectrum.intensities().iter().zip(baseline.iter()))
+        {
+            *w = orig.min(base);
+        }
+    }
+    let corrected: Vec<f64> = spectrum
+        .intensities()
+        .iter()
+        .zip(&baseline)
+        .map(|(&y, &b)| y - b)
+        .collect();
+    let corrected = ContinuousSpectrum::from_parts(*spectrum.axis(), corrected)?;
+    Ok((corrected, baseline))
+}
+
+fn normalized_abscissa(len: usize, index: usize) -> f64 {
+    if len <= 1 {
+        return 0.0;
+    }
+    2.0 * index as f64 / (len - 1) as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformAxis;
+
+    fn spec(vals: Vec<f64>) -> ContinuousSpectrum {
+        let axis = UniformAxis::new(0.0, 1.0, vals.len()).unwrap();
+        ContinuousSpectrum::from_parts(axis, vals).unwrap()
+    }
+
+    #[test]
+    fn fits_constant_baseline() {
+        let s = spec(vec![2.0; 50]);
+        let coef = fit_polynomial(&s, 0).unwrap();
+        assert!((coef[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fits_linear_trend() {
+        let vals: Vec<f64> = (0..100).map(|i| 1.0 + 0.05 * i as f64).collect();
+        let s = spec(vals);
+        let coef = fit_polynomial(&s, 1).unwrap();
+        let recon = evaluate_polynomial(&coef, 100);
+        for (a, b) in recon.iter().zip(s.intensities()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn degree_exceeding_samples_fails() {
+        let s = spec(vec![1.0, 2.0]);
+        assert!(fit_polynomial(&s, 2).is_err());
+    }
+
+    #[test]
+    fn baseline_removal_flattens_tilted_peak() {
+        // Peak on a linear ramp.
+        let n = 200;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| {
+                let ramp = 0.5 + 0.01 * i as f64;
+                let peak = if (90..110).contains(&i) { 10.0 } else { 0.0 };
+                ramp + peak
+            })
+            .collect();
+        let s = spec(vals);
+        let (corrected, baseline) = remove_baseline(&s, 1, 5).unwrap();
+        // Away from the peak the corrected signal should be near zero.
+        for i in (0..60).chain(140..n) {
+            assert!(
+                corrected.intensities()[i].abs() < 0.5,
+                "sample {i}: {}",
+                corrected.intensities()[i]
+            );
+        }
+        // The baseline should track the ramp, not the peak.
+        assert!(baseline[100] < 5.0);
+    }
+
+    #[test]
+    fn evaluate_polynomial_constant() {
+        assert_eq!(evaluate_polynomial(&[3.0], 4), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn removal_preserves_peak_height_approximately() {
+        let n = 200;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| {
+                let peak = (-((i as f64 - 100.0) / 5.0).powi(2)).exp() * 8.0;
+                1.0 + peak
+            })
+            .collect();
+        let s = spec(vals);
+        let (corrected, _) = remove_baseline(&s, 2, 4).unwrap();
+        let max = corrected.max_intensity();
+        assert!((max - 8.0).abs() < 0.5, "max {max}");
+    }
+}

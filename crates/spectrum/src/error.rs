@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// # Example
+///
+/// ```
+/// use spectrum::{SpectrumError, UniformAxis};
+///
+/// let err = UniformAxis::from_range(1.0, 0.0, 0.1).unwrap_err();
+/// assert!(matches!(err, SpectrumError::InvalidAxis(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpectrumError {
+    /// An axis was constructed from an empty or inverted range, or a
+    /// non-positive step.
+    InvalidAxis(String),
+    /// A peak shape parameter (width, mixing fraction) was out of range.
+    InvalidPeak(String),
+    /// A stick or sample value was non-finite or otherwise invalid.
+    InvalidValue(String),
+    /// Two operands had mismatched axes or lengths.
+    ShapeMismatch {
+        /// Length or description of the left operand.
+        left: usize,
+        /// Length or description of the right operand.
+        right: usize,
+    },
+    /// A linear system was singular or ill-conditioned beyond recovery.
+    Singular,
+    /// The input collection was empty where at least one element is needed.
+    Empty,
+}
+
+impl fmt::Display for SpectrumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpectrumError::InvalidAxis(msg) => write!(f, "invalid axis: {msg}"),
+            SpectrumError::InvalidPeak(msg) => write!(f, "invalid peak shape: {msg}"),
+            SpectrumError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            SpectrumError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            SpectrumError::Singular => write!(f, "linear system is singular"),
+            SpectrumError::Empty => write!(f, "input collection is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SpectrumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = SpectrumError::InvalidAxis("step must be positive".into());
+        let text = err.to_string();
+        assert!(text.starts_with("invalid axis"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpectrumError>();
+    }
+
+    #[test]
+    fn shape_mismatch_reports_both_sides() {
+        let err = SpectrumError::ShapeMismatch { left: 3, right: 5 };
+        assert_eq!(err.to_string(), "shape mismatch: 3 vs 5");
+    }
+}

@@ -1,0 +1,283 @@
+//! Radix-2 FFT and free-induction-decay (FID) helpers.
+//!
+//! "The NMR spectrum is produced by Fourier transformation" of the decaying
+//! receiver signal (paper §II.B). The NMR simulator can generate spectra
+//! either directly in the frequency domain or — for end-to-end realism — by
+//! synthesizing a time-domain FID and transforming it here.
+
+use crate::SpectrumError;
+
+/// A complex number as a `(re, im)` pair (kept dependency-free).
+pub type Complex = (f64, f64);
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidValue`] if the length is not a power of
+/// two (or is zero).
+pub fn fft_in_place(data: &mut [Complex]) -> Result<(), SpectrumError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidValue`] if the length is not a power of
+/// two (or is zero).
+pub fn ifft_in_place(data: &mut [Complex]) -> Result<(), SpectrumError> {
+    transform(data, true)?;
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        v.0 /= n;
+        v.1 /= n;
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) -> Result<(), SpectrumError> {
+    let n = data.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(SpectrumError::InvalidValue(format!(
+            "fft length {n} must be a non-zero power of two"
+        )));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2];
+                let t = (b.0 * cr - b.1 * ci, b.0 * ci + b.1 * cr);
+                data[start + k] = (a.0 + t.0, a.1 + t.1);
+                data[start + k + len / 2] = (a.0 - t.0, a.1 - t.1);
+                let next = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = next.0;
+                ci = next.1;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// One resonance of a synthetic FID: frequency (Hz), amplitude and
+/// transverse relaxation time `t2` (s), which sets the Lorentzian line
+/// width `1 / (pi * t2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resonance {
+    /// Resonance frequency in Hz (relative to the carrier).
+    pub frequency: f64,
+    /// Signal amplitude.
+    pub amplitude: f64,
+    /// Transverse relaxation time T2 in seconds.
+    pub t2: f64,
+}
+
+/// Synthesizes a complex FID of `n` points sampled at `dwell` seconds:
+/// `sum_k A_k * exp(i 2π f_k t) * exp(-t / T2_k)`.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidValue`] if `n` is zero, `dwell` is not
+/// positive, or any resonance has non-positive `t2`.
+pub fn synthesize_fid(
+    resonances: &[Resonance],
+    n: usize,
+    dwell: f64,
+) -> Result<Vec<Complex>, SpectrumError> {
+    if n == 0 {
+        return Err(SpectrumError::InvalidValue("fid length is zero".into()));
+    }
+    if !(dwell.is_finite() && dwell > 0.0) {
+        return Err(SpectrumError::InvalidValue(format!(
+            "dwell time {dwell} must be positive"
+        )));
+    }
+    for r in resonances {
+        if !(r.t2.is_finite() && r.t2 > 0.0) {
+            return Err(SpectrumError::InvalidValue(format!(
+                "t2 {} must be positive",
+                r.t2
+            )));
+        }
+    }
+    let mut fid = vec![(0.0, 0.0); n];
+    for r in resonances {
+        let w = 2.0 * std::f64::consts::PI * r.frequency;
+        for (i, slot) in fid.iter_mut().enumerate() {
+            let t = i as f64 * dwell;
+            let decay = (-t / r.t2).exp() * r.amplitude;
+            slot.0 += decay * (w * t).cos();
+            slot.1 += decay * (w * t).sin();
+        }
+    }
+    Ok(fid)
+}
+
+/// Transforms an FID into a real absorption-mode spectrum: FFT, then the
+/// real part, with frequencies reordered so the output axis runs from
+/// `-f_nyquist` to `+f_nyquist` left to right.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidValue`] if the FID length is not a
+/// power of two.
+pub fn fid_to_spectrum(fid: &[Complex]) -> Result<Vec<f64>, SpectrumError> {
+    let mut data = fid.to_vec();
+    // First-point scaling avoids a baseline offset from the FFT of a
+    // one-sided decay (standard NMR processing).
+    if let Some(first) = data.first_mut() {
+        first.0 *= 0.5;
+        first.1 *= 0.5;
+    }
+    fft_in_place(&mut data)?;
+    let n = data.len();
+    // fftshift so negative frequencies come first.
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let src = (i + n / 2) % n;
+        out.push(data[src].0);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![(0.0, 0.0); 12];
+        assert!(fft_in_place(&mut data).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut empty).is_err());
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft_in_place(&mut data).unwrap();
+        for (re, im) in data {
+            assert!((re - 1.0).abs() < 1e-12);
+            assert!(im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let original: Vec<Complex> = (0..64)
+            .map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.0 - b.0).abs() < 1e-10);
+            assert!((a.1 - b.1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_complex_exponential_is_single_bin() {
+        let n = 64;
+        let k = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let phase = 2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64;
+                (phase.cos(), phase.sin())
+            })
+            .collect();
+        fft_in_place(&mut data).unwrap();
+        for (bin, &(re, im)) in data.iter().enumerate() {
+            let mag = (re * re + im * im).sqrt();
+            if bin == k {
+                assert!((mag - n as f64).abs() < 1e-9, "bin {bin} mag {mag}");
+            } else {
+                assert!(mag < 1e-9, "bin {bin} mag {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let time: Vec<Complex> = (0..128)
+            .map(|i| ((i as f64 * 0.11).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let e_time: f64 = time.iter().map(|(r, i)| r * r + i * i).sum();
+        let mut freq = time.clone();
+        fft_in_place(&mut freq).unwrap();
+        let e_freq: f64 = freq.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / 128.0;
+        assert!((e_time - e_freq).abs() / e_time < 1e-12);
+    }
+
+    #[test]
+    fn fid_peak_lands_at_resonance_frequency() {
+        let n = 1024;
+        let dwell = 1e-3; // 1 kHz bandwidth, bins of ~0.977 Hz
+        let res = Resonance {
+            frequency: 100.0,
+            amplitude: 1.0,
+            t2: 0.5,
+        };
+        let fid = synthesize_fid(&[res], n, dwell).unwrap();
+        let spec = fid_to_spectrum(&fid).unwrap();
+        let (argmax, _) = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        // Frequency of bin i after fftshift: (i - n/2) / (n * dwell).
+        let freq = (argmax as f64 - n as f64 / 2.0) / (n as f64 * dwell);
+        assert!((freq - 100.0).abs() < 2.0, "freq {freq}");
+    }
+
+    #[test]
+    fn narrower_t2_gives_wider_line() {
+        let n = 2048;
+        let dwell = 1e-3;
+        let width_of = |t2: f64| {
+            let fid = synthesize_fid(
+                &[Resonance {
+                    frequency: 0.0,
+                    amplitude: 1.0,
+                    t2,
+                }],
+                n,
+                dwell,
+            )
+            .unwrap();
+            let spec = fid_to_spectrum(&fid).unwrap();
+            let max = spec.iter().cloned().fold(f64::MIN, f64::max);
+            spec.iter().filter(|&&v| v > max / 2.0).count()
+        };
+        assert!(width_of(0.05) > width_of(0.5));
+    }
+
+    #[test]
+    fn synthesize_fid_validates_inputs() {
+        let r = Resonance {
+            frequency: 1.0,
+            amplitude: 1.0,
+            t2: 1.0,
+        };
+        assert!(synthesize_fid(&[r], 0, 1e-3).is_err());
+        assert!(synthesize_fid(&[r], 8, 0.0).is_err());
+        let bad = Resonance { t2: 0.0, ..r };
+        assert!(synthesize_fid(&[bad], 8, 1e-3).is_err());
+    }
+}

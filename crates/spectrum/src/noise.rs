@@ -1,0 +1,274 @@
+//! Instrument noise and drift models.
+//!
+//! The paper's Tool 2 extracts "the deformation of the peaks to a curve,
+//! the frequency-dependent attenuation, the drift and the noise model"
+//! from real measurements. This module provides composable noise sources
+//! that both the hidden prototype and the estimated simulator use.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ContinuousSpectrum;
+
+/// Additive white Gaussian noise with standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNoise {
+    /// Standard deviation of the additive noise.
+    pub sigma: f64,
+}
+
+impl GaussianNoise {
+    /// Applies the noise to every sample in place.
+    pub fn apply<R: Rng + ?Sized>(&self, spectrum: &mut ContinuousSpectrum, rng: &mut R) {
+        if self.sigma <= 0.0 {
+            return;
+        }
+        for v in spectrum.intensities_mut() {
+            *v += self.sigma * standard_normal(rng);
+        }
+    }
+}
+
+/// Signal-dependent (shot) noise: each sample `y` receives noise with
+/// standard deviation `scale * sqrt(max(y, 0))`, modelling ion-counting
+/// statistics in the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShotNoise {
+    /// Proportionality constant of the square-root noise law.
+    pub scale: f64,
+}
+
+impl ShotNoise {
+    /// Applies the noise to every sample in place.
+    pub fn apply<R: Rng + ?Sized>(&self, spectrum: &mut ContinuousSpectrum, rng: &mut R) {
+        if self.scale <= 0.0 {
+            return;
+        }
+        for v in spectrum.intensities_mut() {
+            let sd = self.scale * v.max(0.0).sqrt();
+            if sd > 0.0 {
+                *v += sd * standard_normal(rng);
+            }
+        }
+    }
+}
+
+/// Slowly varying baseline drift: a random-walk baseline low-pass filtered
+/// to wander on the scale of `correlation` samples, with overall amplitude
+/// `amplitude`. Models thermal/vacuum drift in the prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftNoise {
+    /// Peak-scale amplitude of the drift.
+    pub amplitude: f64,
+    /// Correlation length in samples (larger = smoother drift).
+    pub correlation: usize,
+}
+
+impl DriftNoise {
+    /// Applies a smooth random baseline to the spectrum in place.
+    pub fn apply<R: Rng + ?Sized>(&self, spectrum: &mut ContinuousSpectrum, rng: &mut R) {
+        if self.amplitude <= 0.0 || spectrum.is_empty() {
+            return;
+        }
+        let alpha = 1.0 / (self.correlation.max(1) as f64);
+        let mut level = standard_normal(rng);
+        for v in spectrum.intensities_mut() {
+            level = (1.0 - alpha) * level + alpha.sqrt() * standard_normal(rng);
+            *v += self.amplitude * level;
+        }
+    }
+}
+
+/// Occasional spike artifacts (cosmic events / discharge): with probability
+/// `probability` per sample, adds an exponential-magnitude spike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeNoise {
+    /// Per-sample spike probability.
+    pub probability: f64,
+    /// Mean spike magnitude.
+    pub magnitude: f64,
+}
+
+impl SpikeNoise {
+    /// Applies spikes in place.
+    pub fn apply<R: Rng + ?Sized>(&self, spectrum: &mut ContinuousSpectrum, rng: &mut R) {
+        if self.probability <= 0.0 || self.magnitude <= 0.0 {
+            return;
+        }
+        for v in spectrum.intensities_mut() {
+            if rng.gen::<f64>() < self.probability {
+                let mag: f64 = rng.gen::<f64>();
+                *v += self.magnitude * (-mag.max(1e-12).ln());
+            }
+        }
+    }
+}
+
+/// A complete instrument noise model combining all sources, applied in a
+/// fixed order (shot → additive → drift → spikes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Additive white noise.
+    pub gaussian: GaussianNoise,
+    /// Signal-dependent shot noise.
+    pub shot: ShotNoise,
+    /// Slow baseline drift.
+    pub drift: DriftNoise,
+    /// Spike artifacts.
+    pub spikes: SpikeNoise,
+}
+
+impl NoiseModel {
+    /// A silent model (all sources disabled) — useful as a baseline.
+    pub fn silent() -> Self {
+        Self {
+            gaussian: GaussianNoise { sigma: 0.0 },
+            shot: ShotNoise { scale: 0.0 },
+            drift: DriftNoise {
+                amplitude: 0.0,
+                correlation: 1,
+            },
+            spikes: SpikeNoise {
+                probability: 0.0,
+                magnitude: 0.0,
+            },
+        }
+    }
+
+    /// Applies every enabled noise source in place.
+    pub fn apply<R: Rng + ?Sized>(&self, spectrum: &mut ContinuousSpectrum, rng: &mut R) {
+        self.shot.apply(spectrum, rng);
+        self.gaussian.apply(spectrum, rng);
+        self.drift.apply(spectrum, rng);
+        self.spikes.apply(spectrum, rng);
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::silent()
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformAxis;
+    use rand::SeedableRng;
+
+    fn flat(n: usize, level: f64) -> ContinuousSpectrum {
+        let axis = UniformAxis::new(0.0, 1.0, n).unwrap();
+        ContinuousSpectrum::from_parts(axis, vec![level; n]).unwrap()
+    }
+
+    fn rng() -> impl Rng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_has_unit_variance() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_noise_matches_sigma() {
+        let mut s = flat(10_000, 0.0);
+        GaussianNoise { sigma: 0.5 }.apply(&mut s, &mut rng());
+        let var = s.intensities().iter().map(|v| v * v).sum::<f64>() / s.len() as f64;
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_sigma_is_noop() {
+        let mut s = flat(100, 3.0);
+        GaussianNoise { sigma: 0.0 }.apply(&mut s, &mut rng());
+        assert!(s.intensities().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn shot_noise_scales_with_signal() {
+        let mut low = flat(20_000, 1.0);
+        let mut high = flat(20_000, 100.0);
+        ShotNoise { scale: 0.2 }.apply(&mut low, &mut rng());
+        ShotNoise { scale: 0.2 }.apply(&mut high, &mut rng());
+        let sd = |s: &ContinuousSpectrum, mean: f64| {
+            (s.intensities()
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / s.len() as f64)
+                .sqrt()
+        };
+        let ratio = sd(&high, 100.0) / sd(&low, 1.0);
+        // sqrt(100)/sqrt(1) = 10.
+        assert!((ratio - 10.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shot_noise_ignores_negative_samples() {
+        let axis = UniformAxis::new(0.0, 1.0, 3).unwrap();
+        let mut s = ContinuousSpectrum::from_parts(axis, vec![-5.0, -5.0, -5.0]).unwrap();
+        ShotNoise { scale: 1.0 }.apply(&mut s, &mut rng());
+        assert!(s.intensities().iter().all(|&v| v == -5.0));
+    }
+
+    #[test]
+    fn drift_is_smooth() {
+        let mut s = flat(5_000, 0.0);
+        DriftNoise {
+            amplitude: 1.0,
+            correlation: 200,
+        }
+        .apply(&mut s, &mut rng());
+        // Adjacent-sample differences must be much smaller than the overall
+        // excursion for a smooth drift.
+        let diffs: f64 = s
+            .intensities()
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (s.len() - 1) as f64;
+        let excursion = s.max_intensity()
+            - s.intensities().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(excursion > 0.0);
+        assert!(diffs < excursion / 10.0, "diffs {diffs} excursion {excursion}");
+    }
+
+    #[test]
+    fn spikes_are_rare_and_positive() {
+        let mut s = flat(50_000, 0.0);
+        SpikeNoise {
+            probability: 0.001,
+            magnitude: 10.0,
+        }
+        .apply(&mut s, &mut rng());
+        let hits = s.intensities().iter().filter(|&&v| v != 0.0).count();
+        assert!(hits > 10 && hits < 200, "hits {hits}");
+        assert!(s.intensities().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn silent_model_changes_nothing() {
+        let mut s = flat(64, 2.5);
+        NoiseModel::silent().apply(&mut s, &mut rng());
+        assert!(s.intensities().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn default_is_silent() {
+        assert_eq!(NoiseModel::default(), NoiseModel::silent());
+    }
+}

@@ -1,0 +1,271 @@
+//! Peak profiles used to render line spectra into continuous spectra.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SpectrumError;
+
+/// Natural log of 2, used by Gaussian FWHM parameterization.
+const LN2: f64 = std::f64::consts::LN_2;
+
+/// A normalized (unit-area) peak profile parameterized by its full width at
+/// half maximum (FWHM).
+///
+/// * [`PeakShape::gaussian`] — instrumental broadening in the MS simulator
+///   ("deformation of the peaks to a curve", paper §III.A.1);
+/// * [`PeakShape::lorentzian`] — natural NMR line shape;
+/// * [`PeakShape::lorentz_gauss`] — the Lorentz–Gauss (pseudo-Voigt) mix the
+///   paper's Indirect Hard Modelling uses for NMR pure components
+///   (§III.B.1: "a series of Lorentz-Gauss functions").
+///
+/// All profiles integrate to 1 over the real line, so a stick of intensity
+/// `I` rendered with any shape conserves area `I`.
+///
+/// # Example
+///
+/// ```
+/// use spectrum::PeakShape;
+///
+/// # fn main() -> Result<(), spectrum::SpectrumError> {
+/// let shape = PeakShape::lorentz_gauss(0.02, 0.5)?;
+/// let center = shape.evaluate(0.0);
+/// let half = shape.evaluate(0.01); // at half width from center
+/// assert!((half / center - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PeakShape {
+    /// Gaussian profile with the given FWHM.
+    Gaussian {
+        /// Full width at half maximum.
+        fwhm: f64,
+    },
+    /// Lorentzian (Cauchy) profile with the given FWHM.
+    Lorentzian {
+        /// Full width at half maximum.
+        fwhm: f64,
+    },
+    /// Linear mix `eta * Lorentzian + (1 - eta) * Gaussian` of equal FWHM
+    /// (the pseudo-Voigt approximation of a Voigt profile).
+    LorentzGauss {
+        /// Full width at half maximum shared by both parts.
+        fwhm: f64,
+        /// Lorentzian fraction in `[0, 1]`.
+        eta: f64,
+    },
+}
+
+impl PeakShape {
+    /// A Gaussian with the given FWHM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidPeak`] if `fwhm` is not strictly
+    /// positive and finite.
+    pub fn gaussian(fwhm: f64) -> Result<Self, SpectrumError> {
+        check_fwhm(fwhm)?;
+        Ok(Self::Gaussian { fwhm })
+    }
+
+    /// A Lorentzian with the given FWHM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidPeak`] if `fwhm` is not strictly
+    /// positive and finite.
+    pub fn lorentzian(fwhm: f64) -> Result<Self, SpectrumError> {
+        check_fwhm(fwhm)?;
+        Ok(Self::Lorentzian { fwhm })
+    }
+
+    /// A Lorentz–Gauss mix with Lorentzian fraction `eta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidPeak`] if `fwhm` is not strictly
+    /// positive and finite, or `eta` lies outside `[0, 1]`.
+    pub fn lorentz_gauss(fwhm: f64, eta: f64) -> Result<Self, SpectrumError> {
+        check_fwhm(fwhm)?;
+        if !(0.0..=1.0).contains(&eta) || !eta.is_finite() {
+            return Err(SpectrumError::InvalidPeak(format!(
+                "lorentzian fraction eta must lie in [0, 1], got {eta}"
+            )));
+        }
+        Ok(Self::LorentzGauss { fwhm, eta })
+    }
+
+    /// Full width at half maximum of the profile.
+    pub fn fwhm(&self) -> f64 {
+        match *self {
+            Self::Gaussian { fwhm }
+            | Self::Lorentzian { fwhm }
+            | Self::LorentzGauss { fwhm, .. } => fwhm,
+        }
+    }
+
+    /// The same shape with a different FWHM (used for broadening sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectrumError::InvalidPeak`] if `fwhm` is invalid.
+    pub fn with_fwhm(&self, fwhm: f64) -> Result<Self, SpectrumError> {
+        check_fwhm(fwhm)?;
+        Ok(match *self {
+            Self::Gaussian { .. } => Self::Gaussian { fwhm },
+            Self::Lorentzian { .. } => Self::Lorentzian { fwhm },
+            Self::LorentzGauss { eta, .. } => Self::LorentzGauss { fwhm, eta },
+        })
+    }
+
+    /// Evaluates the unit-area profile at signed distance `dx` from the
+    /// peak center.
+    pub fn evaluate(&self, dx: f64) -> f64 {
+        match *self {
+            Self::Gaussian { fwhm } => gaussian_pdf(dx, fwhm),
+            Self::Lorentzian { fwhm } => lorentzian_pdf(dx, fwhm),
+            Self::LorentzGauss { fwhm, eta } => {
+                eta * lorentzian_pdf(dx, fwhm) + (1.0 - eta) * gaussian_pdf(dx, fwhm)
+            }
+        }
+    }
+
+    /// Peak height at the center (`evaluate(0.0)`).
+    pub fn height(&self) -> f64 {
+        self.evaluate(0.0)
+    }
+
+    /// Distance from the center beyond which the profile is numerically
+    /// negligible; renderers restrict their loops to `±support_radius()`.
+    ///
+    /// Gaussians decay fast (±5 FWHM covers ~1e-30 of the mass); the
+    /// Lorentzian tail is heavy, so its radius is wider (±60 FWHM keeps the
+    /// truncated tail below ~1 % of the area).
+    pub fn support_radius(&self) -> f64 {
+        match *self {
+            Self::Gaussian { fwhm } => 5.0 * fwhm,
+            Self::Lorentzian { fwhm } => 60.0 * fwhm,
+            Self::LorentzGauss { fwhm, eta } => {
+                if eta == 0.0 {
+                    5.0 * fwhm
+                } else {
+                    60.0 * fwhm
+                }
+            }
+        }
+    }
+}
+
+fn check_fwhm(fwhm: f64) -> Result<(), SpectrumError> {
+    if !(fwhm.is_finite() && fwhm > 0.0) {
+        return Err(SpectrumError::InvalidPeak(format!(
+            "fwhm must be positive and finite, got {fwhm}"
+        )));
+    }
+    Ok(())
+}
+
+/// Unit-area Gaussian parameterized by FWHM.
+fn gaussian_pdf(dx: f64, fwhm: f64) -> f64 {
+    let sigma = fwhm / (2.0 * (2.0 * LN2).sqrt());
+    let z = dx / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// Unit-area Lorentzian parameterized by FWHM.
+fn lorentzian_pdf(dx: f64, fwhm: f64) -> f64 {
+    let gamma = fwhm / 2.0;
+    gamma / (std::f64::consts::PI * (dx * dx + gamma * gamma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_area(shape: &PeakShape, half_range: f64, n: usize) -> f64 {
+        let dx = 2.0 * half_range / n as f64;
+        (0..n)
+            .map(|i| {
+                let x = -half_range + (i as f64 + 0.5) * dx;
+                shape.evaluate(x) * dx
+            })
+            .sum()
+    }
+
+    #[test]
+    fn gaussian_has_unit_area() {
+        let shape = PeakShape::gaussian(1.0).unwrap();
+        assert!((numeric_area(&shape, 10.0, 20_000) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lorentzian_has_unit_area() {
+        let shape = PeakShape::lorentzian(1.0).unwrap();
+        // Heavy tails: integrate far out, allow 1 % truncation.
+        assert!((numeric_area(&shape, 500.0, 400_000) - 1.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn mix_is_convex_combination() {
+        let g = PeakShape::gaussian(0.3).unwrap();
+        let l = PeakShape::lorentzian(0.3).unwrap();
+        let m = PeakShape::lorentz_gauss(0.3, 0.25).unwrap();
+        for dx in [0.0, 0.1, 0.5, 2.0] {
+            let expect = 0.25 * l.evaluate(dx) + 0.75 * g.evaluate(dx);
+            assert!((m.evaluate(dx) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn half_maximum_at_half_width() {
+        for shape in [
+            PeakShape::gaussian(0.8).unwrap(),
+            PeakShape::lorentzian(0.8).unwrap(),
+            PeakShape::lorentz_gauss(0.8, 0.5).unwrap(),
+        ] {
+            let ratio = shape.evaluate(0.4) / shape.evaluate(0.0);
+            assert!(
+                (ratio - 0.5).abs() < 1e-9,
+                "{shape:?} half-height ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(PeakShape::gaussian(0.0).is_err());
+        assert!(PeakShape::gaussian(-1.0).is_err());
+        assert!(PeakShape::gaussian(f64::NAN).is_err());
+        assert!(PeakShape::lorentz_gauss(1.0, -0.1).is_err());
+        assert!(PeakShape::lorentz_gauss(1.0, 1.1).is_err());
+        assert!(PeakShape::lorentz_gauss(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn with_fwhm_preserves_family() {
+        let shape = PeakShape::lorentz_gauss(0.1, 0.7).unwrap();
+        let wider = shape.with_fwhm(0.2).unwrap();
+        assert_eq!(wider, PeakShape::LorentzGauss { fwhm: 0.2, eta: 0.7 });
+    }
+
+    #[test]
+    fn profile_is_symmetric_and_decreasing() {
+        let shape = PeakShape::lorentz_gauss(1.0, 0.4).unwrap();
+        let mut prev = shape.evaluate(0.0);
+        for i in 1..50 {
+            let dx = i as f64 * 0.1;
+            let v = shape.evaluate(dx);
+            assert!((v - shape.evaluate(-dx)).abs() < 1e-12);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn support_radius_bounds_tail_mass() {
+        let g = PeakShape::gaussian(1.0).unwrap();
+        assert!(g.evaluate(g.support_radius()) < 1e-12);
+        let l = PeakShape::lorentzian(1.0).unwrap();
+        // Tail mass beyond r is ~ fwhm/(pi*r) for a Lorentzian.
+        assert!(1.0 / (std::f64::consts::PI * l.support_radius()) < 0.01);
+    }
+}

@@ -1,0 +1,251 @@
+//! Peak detection and smoothing for measured spectra.
+//!
+//! The characterization tooling works from *expected* peak positions;
+//! this module provides the inverse capability — finding peaks in an
+//! unknown spectrum — plus Savitzky–Golay smoothing, the standard
+//! pre-processing step for noisy instrument data.
+
+use crate::{ContinuousSpectrum, SpectrumError};
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedPeak {
+    /// Sample index of the maximum.
+    pub index: usize,
+    /// Axis coordinate of the maximum.
+    pub position: f64,
+    /// Peak height above the detection baseline.
+    pub height: f64,
+    /// Full width at half maximum, in axis units (interpolated).
+    pub fwhm: f64,
+}
+
+/// Finds local maxima exceeding `min_height` that are separated by at
+/// least `min_separation` axis units, in descending height order.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidValue`] if `min_height` is negative or
+/// `min_separation` is not finite.
+pub fn find_peaks(
+    spectrum: &ContinuousSpectrum,
+    min_height: f64,
+    min_separation: f64,
+) -> Result<Vec<DetectedPeak>, SpectrumError> {
+    if min_height < 0.0 || !min_height.is_finite() {
+        return Err(SpectrumError::InvalidValue(format!(
+            "min_height {min_height} must be non-negative"
+        )));
+    }
+    if !min_separation.is_finite() || min_separation < 0.0 {
+        return Err(SpectrumError::InvalidValue(format!(
+            "min_separation {min_separation} must be non-negative"
+        )));
+    }
+    let ys = spectrum.intensities();
+    let axis = spectrum.axis();
+    let n = ys.len();
+    let mut candidates: Vec<usize> = Vec::new();
+    for i in 1..n.saturating_sub(1) {
+        if ys[i] >= min_height && ys[i] > ys[i - 1] && ys[i] >= ys[i + 1] {
+            candidates.push(i);
+        }
+    }
+    // Highest first; suppress neighbours within min_separation.
+    candidates.sort_by(|&a, &b| ys[b].partial_cmp(&ys[a]).expect("finite"));
+    let mut kept: Vec<usize> = Vec::new();
+    for &c in &candidates {
+        if kept
+            .iter()
+            .all(|&k| (axis.value_at(k) - axis.value_at(c)).abs() >= min_separation)
+        {
+            kept.push(c);
+        }
+    }
+    let peaks = kept
+        .into_iter()
+        .map(|i| {
+            let height = ys[i];
+            let half = height / 2.0;
+            // Walk outward to the half-height crossings, interpolating.
+            let mut left = axis.value_at(i);
+            for j in (0..i).rev() {
+                if ys[j] <= half {
+                    let frac = (ys[j + 1] - half) / (ys[j + 1] - ys[j]).max(1e-300);
+                    left = axis.value_at(j + 1) - frac * axis.step();
+                    break;
+                }
+                left = axis.value_at(j);
+            }
+            let mut right = axis.value_at(i);
+            for j in (i + 1)..n {
+                if ys[j] <= half {
+                    let frac = (ys[j - 1] - half) / (ys[j - 1] - ys[j]).max(1e-300);
+                    right = axis.value_at(j - 1) + frac * axis.step();
+                    break;
+                }
+                right = axis.value_at(j);
+            }
+            DetectedPeak {
+                index: i,
+                position: axis.value_at(i),
+                height,
+                fwhm: (right - left).max(axis.step()),
+            }
+        })
+        .collect();
+    Ok(peaks)
+}
+
+/// Savitzky–Golay smoothing: least-squares polynomial fits over a moving
+/// window, evaluated at the window center. Equivalent to convolution with
+/// precomputed coefficients; edges use shrunken windows.
+///
+/// # Errors
+///
+/// Returns [`SpectrumError::InvalidValue`] if `window` is even or zero,
+/// or `degree >= window`.
+pub fn savitzky_golay(
+    spectrum: &ContinuousSpectrum,
+    window: usize,
+    degree: usize,
+) -> Result<ContinuousSpectrum, SpectrumError> {
+    if window == 0 || window % 2 == 0 {
+        return Err(SpectrumError::InvalidValue(format!(
+            "window {window} must be odd and non-zero"
+        )));
+    }
+    if degree >= window {
+        return Err(SpectrumError::InvalidValue(format!(
+            "degree {degree} must be below window {window}"
+        )));
+    }
+    let ys = spectrum.intensities();
+    let n = ys.len();
+    let half = window / 2;
+    let mut out = vec![0.0f64; n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let m = hi - lo;
+        let deg = degree.min(m - 1);
+        // Fit a polynomial over the window (centered abscissa for
+        // conditioning) and evaluate at sample i.
+        let center = i as f64;
+        let mut design = crate::linalg::Matrix::zeros(m, deg + 1);
+        for (r, j) in (lo..hi).enumerate() {
+            let t = j as f64 - center;
+            let mut p = 1.0;
+            for d in 0..=deg {
+                design.set(r, d, p);
+                p *= t;
+            }
+        }
+        let coef = crate::linalg::lstsq(&design, &ys[lo..hi], 1e-12)?;
+        *slot = coef[0]; // polynomial value at t = 0
+    }
+    ContinuousSpectrum::from_parts(*spectrum.axis(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LineSpectrum, PeakShape, UniformAxis};
+
+    fn gaussian_pair() -> ContinuousSpectrum {
+        let axis = UniformAxis::from_range(0.0, 50.0, 0.1).unwrap();
+        let line =
+            LineSpectrum::from_sticks(vec![(15.0, 2.0), (35.0, 1.0)]).unwrap();
+        line.render(&axis, &PeakShape::gaussian(1.0).unwrap())
+    }
+
+    #[test]
+    fn finds_both_peaks_in_order_of_height() {
+        let spec = gaussian_pair();
+        let peaks = find_peaks(&spec, 0.05, 2.0).unwrap();
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].position - 15.0).abs() < 0.15);
+        assert!((peaks[1].position - 35.0).abs() < 0.15);
+        assert!(peaks[0].height > peaks[1].height);
+    }
+
+    #[test]
+    fn fwhm_estimate_matches_shape() {
+        let spec = gaussian_pair();
+        let peaks = find_peaks(&spec, 0.05, 2.0).unwrap();
+        for p in &peaks {
+            assert!((p.fwhm - 1.0).abs() < 0.15, "fwhm {}", p.fwhm);
+        }
+    }
+
+    #[test]
+    fn min_separation_suppresses_shoulders() {
+        // Two close peaks: only the taller survives a wide separation.
+        let axis = UniformAxis::from_range(0.0, 20.0, 0.05).unwrap();
+        let line = LineSpectrum::from_sticks(vec![(9.0, 2.0), (10.5, 1.5)]).unwrap();
+        let spec = line.render(&axis, &PeakShape::gaussian(0.8).unwrap());
+        let wide = find_peaks(&spec, 0.05, 3.0).unwrap();
+        assert_eq!(wide.len(), 1);
+        let narrow = find_peaks(&spec, 0.05, 0.5).unwrap();
+        assert!(narrow.len() >= 2);
+    }
+
+    #[test]
+    fn min_height_filters_noise_bumps() {
+        let spec = gaussian_pair();
+        // Peak heights: ~1.88 (stick 2.0, fwhm 1.0) and ~0.94 (stick 1.0).
+        let tall_only = find_peaks(&spec, 1.2, 1.0).unwrap();
+        assert_eq!(tall_only.len(), 1);
+        assert!((tall_only[0].position - 15.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn detection_validates_inputs() {
+        let spec = gaussian_pair();
+        assert!(find_peaks(&spec, -1.0, 1.0).is_err());
+        assert!(find_peaks(&spec, 0.1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn savgol_preserves_polynomials() {
+        // A quadratic is reproduced exactly by a degree-2 filter.
+        let axis = UniformAxis::new(0.0, 1.0, 41).unwrap();
+        let ys: Vec<f64> = (0..41).map(|i| 0.5 * (i as f64) * (i as f64) - 3.0).collect();
+        let spec = ContinuousSpectrum::from_parts(axis, ys.clone()).unwrap();
+        let smooth = savitzky_golay(&spec, 7, 2).unwrap();
+        for (a, b) in smooth.intensities().iter().zip(&ys) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn savgol_reduces_noise_variance() {
+        use rand::SeedableRng;
+        let axis = UniformAxis::new(0.0, 1.0, 400).unwrap();
+        let mut spec = ContinuousSpectrum::zeros(axis);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        crate::noise::GaussianNoise { sigma: 1.0 }.apply(&mut spec, &mut rng);
+        let smooth = savitzky_golay(&spec, 11, 2).unwrap();
+        let var = |s: &ContinuousSpectrum| {
+            s.intensities().iter().map(|v| v * v).sum::<f64>() / s.len() as f64
+        };
+        assert!(var(&smooth) < 0.5 * var(&spec));
+    }
+
+    #[test]
+    fn savgol_validates_parameters() {
+        let spec = gaussian_pair();
+        assert!(savitzky_golay(&spec, 4, 2).is_err());
+        assert!(savitzky_golay(&spec, 0, 0).is_err());
+        assert!(savitzky_golay(&spec, 5, 5).is_err());
+    }
+
+    #[test]
+    fn savgol_peak_height_mostly_preserved() {
+        let spec = gaussian_pair();
+        let smooth = savitzky_golay(&spec, 9, 3).unwrap();
+        let orig_max = spec.max_intensity();
+        let smooth_max = smooth.max_intensity();
+        assert!((smooth_max - orig_max).abs() / orig_max < 0.02);
+    }
+}

@@ -1,0 +1,61 @@
+//! Embedded deployment: export a trained network as a portable JSON
+//! artifact, estimate its footprint on the Jetson targets of the paper's
+//! Table 2, and verify the artifact round-trips bit-exactly.
+//!
+//! ```sh
+//! cargo run --release --example embedded_export
+//! ```
+
+use ms_sim::prototype::MmsPrototype;
+use neural::export::ExportedNetwork;
+use platform::Device;
+use spectroai::eval::export_for_embedded;
+use spectroai::pipeline::ms::{MsPipeline, MsPipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("[setup] training a small MS network (quick scale)...");
+    let config = MsPipelineConfig::quick_test();
+    let mut prototype = MmsPrototype::new(13);
+    let report = MsPipeline::new(config)?.run(&mut prototype)?;
+    println!(
+        "[setup] done: {} parameters, measured MAE {:.2}%\n",
+        report.network.param_count(),
+        report.measured_mae * 100.0
+    );
+
+    // Export for every Table 2 target.
+    println!(
+        "{:<22} {:>12} {:>14} {:>14}",
+        "target", "artifact", "latency", "energy"
+    );
+    for device in Device::jetson_presets() {
+        let artifact = export_for_embedded(
+            report.spec.clone(),
+            &report.network,
+            "mms-monitor",
+            &device,
+        )?;
+        println!(
+            "{:<22} {:>9} kB {:>11.3} ms {:>11.3} mJ",
+            artifact.device_name,
+            artifact.json_bytes / 1024,
+            artifact.seconds_per_inference * 1e3,
+            artifact.energy_per_inference_joules * 1e3,
+        );
+    }
+
+    // Round-trip check: JSON -> network -> identical predictions.
+    let artifact = export_for_embedded(
+        report.spec.clone(),
+        &report.network,
+        "mms-monitor",
+        &Device::jetson_nano_gpu(),
+    )?;
+    let json = artifact.exported.to_json()?;
+    let mut restored = ExportedNetwork::from_json(&json)?.instantiate()?;
+    let mut original = report.network;
+    let probe = vec![0.02f32; report.spec.input_len];
+    assert_eq!(original.predict(&probe), restored.predict(&probe));
+    println!("\nround-trip OK: restored network reproduces the original bit-exactly.");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Online NMR reaction monitoring: follow the lithiation reaction through
+//! its steady-state plateaus with IHM and a CNN trained purely on
+//! augmented (synthetic) spectra — the paper's §III.B use case.
+//!
+//! ```sh
+//! cargo run --release --example nmr_reaction_monitoring
+//! ```
+
+use chem::nmr::{lithiation_components, LITHIATION_NAMES};
+use chemometrics::ihm::IhmAnalyzer;
+use spectroai::pipeline::nmr::{NmrPipeline, NmrPipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("[setup] acquiring 300 reactor spectra and training the CNN (quick scale)...");
+    let config = NmrPipelineConfig {
+        augmented_spectra: 800,
+        cnn_epochs: 12,
+        lstm_epochs: 1,
+        lstm_windows: 10,
+        run_ihm: false,
+        ..NmrPipelineConfig::quick_test()
+    };
+    let input_scale = config.input_scale;
+    let mut report = NmrPipeline::new(config)?.run()?;
+    println!(
+        "[setup] done: CNN MSE {:.5} on the experimental run\n",
+        report.cnn.mse
+    );
+
+    // Follow the run: one spectrum per plateau, CNN vs IHM vs reference.
+    let analyzer = IhmAnalyzer::new(
+        lithiation_components(),
+        *report.experiment.spectra[0].axis(),
+    )?;
+    println!(
+        "{:>7} {:>28} {:>28} {:>28}",
+        "plateau", "reference (mol/L)", "CNN", "IHM"
+    );
+    let fmt = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for plateau_indices in report.experiment.plateau_indices() {
+        let i = plateau_indices[plateau_indices.len() / 2];
+        let spectrum = &report.experiment.spectra[i];
+        let scaled: Vec<f32> = spectrum
+            .to_f32()
+            .into_iter()
+            .map(|v| v * input_scale as f32)
+            .collect();
+        let cnn: Vec<f64> = report
+            .cnn_network
+            .predict(&scaled)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let ihm = analyzer.fit(spectrum)?.concentrations;
+        println!(
+            "{:>7} {:>28} {:>28} {:>28}",
+            report.experiment.plateau[i],
+            fmt(&report.experiment.reference[i]),
+            fmt(&cnn),
+            fmt(&ihm)
+        );
+    }
+    println!(
+        "\ncomponents: {:?} — both methods track the reference; the CNN \
+         answers in microseconds, IHM in ~0.1-1 s per spectrum.",
+        LITHIATION_NAMES
+    );
+    Ok(())
+}

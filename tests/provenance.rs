@@ -1,0 +1,54 @@
+//! Provenance-tracking integration: a full MS run recorded and traced
+//! through the datastore, including persistence to disk.
+
+use datastore::Store;
+use ms_sim::prototype::MmsPrototype;
+use neural::export::ExportedNetwork;
+use spectroai::pipeline::ms::{MsPipeline, MsPipelineConfig};
+use spectroai::provenance::{collections, record_ms_run};
+
+#[test]
+fn full_lineage_survives_disk_roundtrip() {
+    let mut prototype = MmsPrototype::new(17);
+    let report = MsPipeline::new(MsPipelineConfig::quick_test())
+        .unwrap()
+        .run(&mut prototype)
+        .unwrap();
+
+    let store = Store::in_memory();
+    let recorded = record_ms_run(&store, &report, "roundtrip").unwrap();
+
+    let dir = std::env::temp_dir().join(format!("spectroai-prov-{}", std::process::id()));
+    store.save_to_dir(&dir).unwrap();
+    let loaded = Store::load_from_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The lineage question of the paper: which measurements trained this
+    // network?
+    let lineage = loaded.lineage(recorded.network).unwrap();
+    assert!(lineage.contains(&recorded.measurements));
+
+    // The reloaded network still predicts.
+    let exported: ExportedNetwork = loaded.get_payload(recorded.network).unwrap();
+    let mut network = exported.instantiate().unwrap();
+    let prediction = network.predict(&vec![0.01; report.spec.input_len]);
+    assert_eq!(prediction.len(), 8);
+    let sum: f32 = prediction.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-4, "softmax outputs sum to {sum}");
+
+    // Children navigation: the measurements fan out to simulator and result.
+    let children = loaded.children(recorded.measurements);
+    assert!(children.contains(&recorded.simulator));
+    assert!(children.contains(&recorded.result));
+
+    // All five collections are present.
+    for name in [
+        collections::MEASUREMENTS,
+        collections::SIMULATORS,
+        collections::DATASETS,
+        collections::NETWORKS,
+        collections::RESULTS,
+    ] {
+        assert_eq!(loaded.collection(name).len(), 1, "{name}");
+    }
+}
