@@ -82,7 +82,7 @@ fn main() {
     let mut rows = Vec::new();
     // SPECTROAI_FIG5_SUBSET=1 trains only the two extreme variants for
     // fast iteration on the toolchain itself.
-    let subset = std::env::var("SPECTROAI_FIG5_SUBSET").map_or(false, |v| v == "1");
+    let subset = std::env::var("SPECTROAI_FIG5_SUBSET").is_ok_and(|v| v == "1");
     let grid: Vec<ActivationChoice> = if subset {
         vec![ActivationChoice::paper_best(), ActivationChoice::paper_initial()]
     } else {

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 /// Returns `true` when paper-scale workloads were requested via
 /// `SPECTROAI_FULL=1`.
 pub fn full_scale() -> bool {
-    std::env::var("SPECTROAI_FULL").map_or(false, |v| v == "1" || v.eq_ignore_ascii_case("true"))
+    std::env::var("SPECTROAI_FULL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 /// Picks `quick` or `full` depending on [`full_scale`].

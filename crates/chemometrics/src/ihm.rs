@@ -99,8 +99,11 @@ impl IhmAnalyzer {
                 "need at least one component model".into(),
             ));
         }
-        if !(config.max_shift >= 0.0)
-            || !(config.broaden_bounds.0 > 0.0)
+        // partial_cmp keeps NaN bounds invalid (a bare `<`/`<=` would
+        // accept them).
+        use std::cmp::Ordering::{Equal, Greater};
+        if !matches!(config.max_shift.partial_cmp(&0.0), Some(Greater | Equal))
+            || config.broaden_bounds.0.partial_cmp(&0.0) != Some(Greater)
             || config.broaden_bounds.0 > config.broaden_bounds.1
         {
             return Err(ChemometricsError::InvalidInput(

@@ -153,8 +153,8 @@ impl Pls {
                 w_mat.set(comp, j, w[j]);
                 p_mat.set(comp, j, p[j]);
             }
-            for j in 0..y_cols {
-                q_mat.set(comp, j, q[j]);
+            for (j, &qj) in q.iter().enumerate().take(y_cols) {
+                q_mat.set(comp, j, qj);
             }
             fitted = comp + 1;
         }
@@ -313,7 +313,7 @@ mod tests {
     fn validates_inputs() {
         let (x, y) = linear_problem();
         assert!(Pls::fit(&[], &y, 1).is_err());
-        assert!(Pls::fit(&x, &y[..10].to_vec(), 1).is_err());
+        assert!(Pls::fit(&x, &y[..10], 1).is_err());
         assert!(Pls::fit(&x, &y, 0).is_err());
     }
 
@@ -328,7 +328,7 @@ mod tests {
     fn predict_batch_matches_single() {
         let (x, y) = linear_problem();
         let model = Pls::fit(&x, &y, 2).unwrap();
-        let batch = model.predict_batch(&x[..5].to_vec()).unwrap();
+        let batch = model.predict_batch(&x[..5]).unwrap();
         for (row, xi) in batch.iter().zip(&x[..5]) {
             assert_eq!(row, &model.predict(xi).unwrap());
         }

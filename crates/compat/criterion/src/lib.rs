@@ -1,0 +1,166 @@
+//! Offline, in-workspace stand-in for `criterion`.
+//!
+//! Keeps the `Criterion` / `BenchmarkGroup` / `Bencher` API shape and the
+//! `criterion_group!` / `criterion_main!` macros so `harness = false`
+//! bench targets compile and run unchanged, but replaces the statistical
+//! machinery with a single warm-up pass plus a fixed number of timed
+//! iterations printed as a mean per-iteration time.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported for bench code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count used for subsequent benchmarks.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Times `routine` and prints its mean per-iteration wall time.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let mean = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+        println!("bench: {name:<40} {mean:>12} ns/iter ({} iters)", bencher.iterations);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing a sample size.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (a named scope with its own sample size).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(1));
+        self
+    }
+
+    /// Times `routine` under this group's sample size.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let saved = self.parent.sample_size;
+        if let Some(samples) = self.sample_size {
+            self.parent.sample_size = samples;
+        }
+        self.parent.bench_function(name, routine);
+        self.parent.sample_size = saved;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` once to warm up, then `iterations` timed times.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // One warm-up call plus three timed iterations.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_restore_parent_sample_size() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_function("inner", |b| b.iter(|| 1 + 1));
+            group.finish();
+        }
+        assert_eq!(c.sample_size, 10);
+    }
+}

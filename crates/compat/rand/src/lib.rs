@@ -1,0 +1,421 @@
+//! Offline, in-workspace stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the `rand 0.8` API it actually uses:
+//! [`RngCore`], the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`), [`SeedableRng`] (including `seed_from_u64` via
+//! SplitMix64), [`rngs::StdRng`] and [`seq::SliceRandom`].
+//!
+//! The generators are real ChaCha stream ciphers, so statistical quality
+//! matches the upstream crate; only the exact output streams differ,
+//! which nothing in this workspace depends on.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of uniform bits.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their "standard" domain
+/// (`[0, 1)` for floats, the full range for integers).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over a `[low, high)` / `[low, high]`
+/// interval.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)` (`inclusive` widens to `[low, high]`).
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "gen_range: empty range"
+                );
+                let span = (high as i128 - low as i128 + if inclusive { 1 } else { 0 }) as u128;
+                if span == 0 {
+                    // Inclusive full-width range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                // Lemire-style scaling; bias is < 2^-64, irrelevant here.
+                let scaled = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (low as i128 + scaled as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "gen_range: empty range"
+                );
+                let u: $t = StandardSample::sample_standard(rng);
+                let v = low + (high - low) * u;
+                // Guard against rounding up to `high` in the exclusive case.
+                if !inclusive && v >= high {
+                    low
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Ranges that can be sampled: `low..high` and `low..=high`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// User-facing extension methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (the same construction upstream `rand` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Internal ChaCha block generator shared with the `rand_chacha`
+/// stand-in. Not part of the public API surface mirrored from upstream.
+#[doc(hidden)]
+pub mod chacha_impl {
+    /// A ChaCha stream generator with `R` double-rounds.
+    #[derive(Debug, Clone)]
+    pub struct ChaChaCore<const R: usize> {
+        key: [u32; 8],
+        counter: u64,
+        buffer: [u32; 16],
+        index: usize,
+    }
+
+    impl<const R: usize> ChaChaCore<R> {
+        /// Creates the generator from a 32-byte key.
+        pub fn from_seed_bytes(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            Self {
+                key,
+                counter: 0,
+                buffer: [0; 16],
+                index: 16,
+            }
+        }
+
+        #[inline]
+        fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(16);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(12);
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(8);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(7);
+        }
+
+        fn refill(&mut self) {
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            state[14] = 0;
+            state[15] = 0;
+            let initial = state;
+            for _ in 0..R {
+                // Column round.
+                Self::quarter(&mut state, 0, 4, 8, 12);
+                Self::quarter(&mut state, 1, 5, 9, 13);
+                Self::quarter(&mut state, 2, 6, 10, 14);
+                Self::quarter(&mut state, 3, 7, 11, 15);
+                // Diagonal round.
+                Self::quarter(&mut state, 0, 5, 10, 15);
+                Self::quarter(&mut state, 1, 6, 11, 12);
+                Self::quarter(&mut state, 2, 7, 8, 13);
+                Self::quarter(&mut state, 3, 4, 9, 14);
+            }
+            for (s, i) in state.iter_mut().zip(initial) {
+                *s = s.wrapping_add(i);
+            }
+            self.buffer = state;
+            self.index = 0;
+            self.counter = self.counter.wrapping_add(1);
+        }
+
+        /// Returns the next 32 bits of keystream.
+        pub fn next_word(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let word = self.buffer[self.index];
+            self.index += 1;
+            word
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::chacha_impl::ChaChaCore;
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's "standard" deterministic generator (ChaCha with 6
+    /// double-rounds, matching upstream `StdRng`'s ChaCha12 strength).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(ChaChaCore<6>);
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_word()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Self(ChaChaCore::from_seed_bytes(seed))
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let k = rng.gen_range(0u64..=4);
+            assert!(k <= 4);
+            let s = rng.gen_range(-1.0..=1.0f32);
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_uniform_is_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted);
+    }
+}

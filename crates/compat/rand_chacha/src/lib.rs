@@ -1,0 +1,72 @@
+//! Offline, in-workspace stand-in for the `rand_chacha` crate.
+//!
+//! Provides [`ChaCha8Rng`], [`ChaCha12Rng`] and [`ChaCha20Rng`] backed by
+//! a genuine ChaCha keystream (see `rand::chacha_impl`). Output streams
+//! are deterministic per seed but are not bit-compatible with the
+//! upstream crate, which nothing in this workspace relies on.
+
+#![forbid(unsafe_code)]
+
+use rand::chacha_impl::ChaChaCore;
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(ChaChaCore<$rounds>);
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_word()
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self(ChaChaCore::from_seed_bytes(seed))
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds (4 double-rounds): the workspace's default
+    /// deterministic generator.
+    ChaCha8Rng,
+    4
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    6
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng,
+    10
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_round_counts_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha20Rng::seed_from_u64(1);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline, in-workspace stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, generating impls of the sibling
+//! `serde` stand-in's `Value`-based traits:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs with one field (newtypes) → the inner value;
+//! * tuple structs with several fields → JSON arrays;
+//! * enums with unit variants → `"VariantName"` strings;
+//! * enums with struct or newtype variants → `{"VariantName": ...}`
+//!   externally-tagged objects (serde's default representation).
+//!
+//! Generics, lifetimes and `#[serde(...)]` attributes are not supported;
+//! the derive panics at compile time if it meets them, which surfaces as
+//! a clear build error at the offending type.
+//!
+//! The implementation deliberately uses only the compiler-provided
+//! `proc_macro` API (no `syn`/`quote`), since the build environment has
+//! no registry access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a parsed type looks like, reduced to what codegen needs.
+enum Shape {
+    /// `struct S { a, b, .. }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, ..);` with the number of fields.
+    TupleStruct { name: String, arity: usize },
+    /// `enum E { .. }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Struct variant with named fields.
+    Named(Vec<String>),
+    /// Tuple variant with the given arity (only 1 is supported).
+    Tuple(usize),
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    gen_serialize(&shape).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    gen_deserialize(&shape).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("serde stand-in derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde stand-in derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a type expression, stopping after the `,` that terminates it
+/// (angle-bracket depth aware: commas inside `<...>` do not terminate).
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stand-in derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`), then the separator.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type_until_comma(&tokens, &mut i);
+        } else if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut map = ::std::collections::BTreeMap::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let bindings = fields.join(", ");
+                            let inserts: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.insert({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f}));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => {{\n\
+                                     let mut inner = ::std::collections::BTreeMap::new();\n\
+                                     {inserts}\
+                                     let mut outer = ::std::collections::BTreeMap::new();\n\
+                                     outer.insert({vname:?}.to_string(), \
+                                         ::serde::Value::Object(inner));\n\
+                                     ::serde::Value::Object(outer)\n\
+                                 }}\n"
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(inner) => {{\n\
+                                 let mut outer = ::std::collections::BTreeMap::new();\n\
+                                 outer.insert({vname:?}.to_string(), \
+                                     ::serde::Serialize::to_value(inner));\n\
+                                 ::serde::Value::Object(outer)\n\
+                             }}\n"
+                        ),
+                        VariantKind::Tuple(n) => panic!(
+                            "serde stand-in derive: {n}-field tuple variant \
+                             `{name}::{vname}` is not supported"
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// The expression deserializing field `f` of `owner` from object map
+/// expression `obj`.
+fn field_expr(owner: &str, obj: &str, f: &str) -> String {
+    format!(
+        "{f}: ::serde::Deserialize::from_value(\
+             {obj}.get({f:?}).unwrap_or(&::serde::Value::Null)\
+         ).map_err(|e| e.context(concat!({owner:?}, \".\", {f:?})))?,\n"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let field_exprs: String =
+                fields.iter().map(|f| field_expr(name, "obj", f)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         let obj = value.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(concat!(\
+                                 \"expected object for struct \", {name:?})))?;\n\
+                         ::core::result::Result::Ok({name} {{\n{field_exprs}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     ::core::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(value)\
+                             .map_err(|e| e.context({name:?}))?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&items[{i}])\
+                             .map_err(|e| e.context({name:?}))?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 ::core::result::Result::Ok({name}({list})),\n\
+                             other => ::core::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"expected {arity}-element array for {name}, \
+                                          got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                list = items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let field_exprs: String =
+                                fields.iter().map(|f| field_expr(name, "obj", f)).collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let obj = inner.as_object().ok_or_else(|| \
+                                         ::serde::DeError::new(concat!(\
+                                             \"expected object payload for \", \
+                                             {name:?}, \"::\", {vname:?})))?;\n\
+                                     ::core::result::Result::Ok({name}::{vname} {{\n\
+                                         {field_exprs}}})\n\
+                                 }}\n"
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(inner)\
+                                     .map_err(|e| e.context({vname:?}))?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => panic!(
+                            "serde stand-in derive: {n}-field tuple variant \
+                             `{name}::{vname}` is not supported"
+                        ),
+                    }
+                })
+                .collect();
+            let object_arm = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                         let (tag, inner) = \
+                             map.iter().next().expect(\"length checked\");\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::core::result::Result::Err(\
+                                 ::serde::DeError::new(format!(\
+                                     \"unknown variant {{other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::core::result::Result::Err(::serde::DeError::new(\
+                                     format!(\"unknown variant {{other}} for {name}\"))),\n\
+                             }},\n\
+                             {object_arm}\
+                             other => ::core::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"expected variant of {name}, got {{}}\", \
+                                         other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -18,6 +18,18 @@ pub enum PipelineError {
     Store(datastore::StoreError),
     /// A pipeline configuration was inconsistent.
     InvalidConfig(String),
+    /// A pipeline stage exhausted its retry budget; `source` is the last
+    /// attempt's error.
+    Stage {
+        /// Stage name (e.g. `"calibration"`).
+        stage: String,
+        /// Number of attempts made.
+        attempts: usize,
+        /// The error of the final attempt.
+        source: Box<PipelineError>,
+    },
+    /// A failure injected by a [`faultsim::FaultPlan`] (testing aid).
+    Injected(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -30,6 +42,12 @@ impl fmt::Display for PipelineError {
             PipelineError::Spectrum(e) => write!(f, "spectrum: {e}"),
             PipelineError::Store(e) => write!(f, "datastore: {e}"),
             PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PipelineError::Stage {
+                stage,
+                attempts,
+                source,
+            } => write!(f, "stage {stage} failed after {attempts} attempts: {source}"),
+            PipelineError::Injected(stage) => write!(f, "injected fault in stage {stage}"),
         }
     }
 }
@@ -43,7 +61,8 @@ impl std::error::Error for PipelineError {
             PipelineError::Chemometrics(e) => Some(e),
             PipelineError::Spectrum(e) => Some(e),
             PipelineError::Store(e) => Some(e),
-            PipelineError::InvalidConfig(_) => None,
+            PipelineError::Stage { source, .. } => Some(source.as_ref()),
+            PipelineError::InvalidConfig(_) | PipelineError::Injected(_) => None,
         }
     }
 }

@@ -81,10 +81,10 @@ impl QualityCriterion {
 /// Selects the best candidate under `criterion`.
 ///
 /// Returns `None` for an empty slice.
-pub fn select_best<'a>(
-    reports: &'a [EvaluationReport],
+pub fn select_best(
+    reports: &[EvaluationReport],
     criterion: QualityCriterion,
-) -> Option<&'a EvaluationReport> {
+) -> Option<&EvaluationReport> {
     reports.iter().min_by(|a, b| {
         criterion
             .score(a)

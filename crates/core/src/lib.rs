@@ -19,7 +19,10 @@
 //! * [`eval`] — quality criteria, best-network selection and embedded
 //!   export;
 //! * [`provenance`] — recording every pipeline artifact in the
-//!   [`datastore`] with full parent lineage.
+//!   [`datastore`] with full parent lineage;
+//! * [`recovery`] — a retry/backoff stage runner and graceful
+//!   degradation for unattended pipeline runs (see
+//!   [`pipeline::ms::MsPipeline::run_with_recovery`]).
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 pub mod eval;
 pub mod pipeline;
 pub mod provenance;
+pub mod recovery;
 
 mod error;
 

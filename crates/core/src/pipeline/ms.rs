@@ -11,11 +11,14 @@
 //! 5. evaluation on the held-out *simulated* validation data;
 //! 6. evaluation on a fresh *measured* campaign (the sim-to-real gap).
 
+use std::sync::Arc;
+
 use chem::fragmentation::GasLibrary;
 use ms_sim::campaign::{run_calibration_campaign, run_evaluation_campaign, MS_TASK_SUBSTANCES};
 use ms_sim::characterize::{CharacterizationReport, Characterizer};
 use ms_sim::prototype::MmsPrototype;
 use ms_sim::simulate::{LabeledSpectra, TrainingSimulator};
+use neural::guard::{GuardConfig, GuardedTrainer, RecoveryEvent};
 use neural::optim::OptimizerSpec;
 use neural::spec::{LayerSpec, NetworkSpec};
 use neural::train::{Dataset, TrainConfig, Trainer};
@@ -24,6 +27,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spectrum::UniformAxis;
 
+use crate::recovery::StageRunner;
 use crate::PipelineError;
 
 /// The three activation choices the paper sweeps in Figure 5: hidden
@@ -187,6 +191,14 @@ pub struct MsRunReport {
     pub per_substance_measured: Vec<f64>,
     /// Substance order of the per-substance vectors.
     pub substances: Vec<String>,
+    /// Calibration samples per mixture actually used. Equals the
+    /// configured count unless
+    /// [`MsPipeline::run_with_recovery`] degraded the campaign after
+    /// repeated characterization failures.
+    pub calibration_samples_used: usize,
+    /// Training-guard rollbacks performed during Tool 4 (always empty
+    /// for the unguarded [`MsPipeline::run`]).
+    pub training_recovery: Vec<RecoveryEvent>,
 }
 
 /// The end-to-end MS pipeline.
@@ -196,6 +208,10 @@ pub struct MsPipeline {
 }
 
 impl MsPipeline {
+    /// Smallest calibration campaign (samples per mixture) that
+    /// [`MsPipeline::run_with_recovery`] degrades to before giving up.
+    pub const MIN_CALIBRATION_SAMPLES: usize = 2;
+
     /// Creates a pipeline after validating the configuration.
     ///
     /// # Errors
@@ -349,6 +365,136 @@ impl MsPipeline {
             measured_mae,
             per_substance_measured,
             substances: self.config.substances.clone(),
+            calibration_samples_used: self.config.calibration_samples_per_mixture,
+            training_recovery: Vec::new(),
+        })
+    }
+
+    /// Fault-tolerant variant of [`MsPipeline::run`]: every stage runs
+    /// under `runner`'s retry/backoff policy, training runs under a
+    /// divergence guard with checkpoint rollback, and a calibration +
+    /// characterization stage that keeps failing across its whole retry
+    /// budget degrades gracefully — the campaign is retried with half the
+    /// samples per mixture (Figure 6's axis, floor of
+    /// [`MsPipeline::MIN_CALIBRATION_SAMPLES`]) before giving up.
+    ///
+    /// If the runner carries a [`faultsim::FaultPlan`], it is shared with
+    /// the training guard so NaN-batch injection exercises rollback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Stage`] once a stage exhausts retries
+    /// (and, for calibration, all degradation levels), or
+    /// [`PipelineError::Neural`] if guarded training diverges beyond
+    /// recovery.
+    pub fn run_with_recovery(
+        &self,
+        prototype: &mut MmsPrototype,
+        runner: &mut StageRunner,
+    ) -> Result<MsRunReport, PipelineError> {
+        // 1.+2. Calibration + characterization, with graceful degradation.
+        let mut samples = self.config.calibration_samples_per_mixture;
+        let (characterization, calibration_samples_used) = loop {
+            let result = runner.run("calibration", || {
+                let calibration = run_calibration_campaign(prototype, samples)?;
+                let calibration: Vec<_> = calibration
+                    .into_iter()
+                    .map(|mut s| {
+                        if s.spectrum.axis() != &self.config.axis {
+                            s.spectrum = s.spectrum.resampled(&self.config.axis);
+                        }
+                        s
+                    })
+                    .collect();
+                let characterizer =
+                    Characterizer::new(GasLibrary::standard(), Some("He".into()));
+                Ok(characterizer.characterize(&calibration)?)
+            });
+            match result {
+                Ok(characterization) => break (characterization, samples),
+                Err(err) => {
+                    let halved = samples / 2;
+                    if halved < Self::MIN_CALIBRATION_SAMPLES {
+                        return Err(err);
+                    }
+                    samples = halved;
+                }
+            }
+        };
+
+        // 3. Simulated training data.
+        let simulated = runner.run("simulate", || {
+            let simulator = TrainingSimulator::new(
+                characterization.model.clone(),
+                GasLibrary::standard(),
+                self.config.substances.clone(),
+                self.config.axis,
+            )?;
+            let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+            Ok(simulator.generate_dataset(self.config.training_spectra, &mut rng)?)
+        })?;
+
+        // 4. Dataset split and guarded training. A fresh network per
+        // attempt so a retried stage starts from a clean slate.
+        let (train, validation) = runner.run("build-dataset", || {
+            let dataset = Dataset::new(simulated.inputs_f32(), simulated.labels_f32())?;
+            Ok(dataset.split(0.8)?)
+        })?;
+        let spec = Self::table1_spec(
+            self.config.axis.len(),
+            self.config.substances.len(),
+            self.config.activations,
+        );
+        let train_config = TrainConfig {
+            epochs: self.config.epochs,
+            batch_size: self.config.batch_size,
+            optimizer: OptimizerSpec::Adam {
+                lr: self.config.learning_rate,
+            },
+            loss: Loss::Mae,
+            shuffle: true,
+            seed: self.config.seed,
+            restore_best: true,
+            stop_at_val_loss: self.config.target_validation_mae,
+        };
+        let plan = runner.fault_plan().map(Arc::clone);
+        let (mut network, outcome) = runner.run("train", || {
+            let mut network = spec.build(self.config.seed)?;
+            let mut trainer = GuardedTrainer::new(train_config, GuardConfig::default())?;
+            if let Some(plan) = &plan {
+                trainer = trainer.with_fault_plan(Arc::clone(plan));
+            }
+            let outcome = trainer.fit(&mut network, &train, Some(&validation))?;
+            Ok((network, outcome))
+        })?;
+
+        // 5. Simulated-validation quality.
+        let per_substance_validation = validation.per_output_mae(&mut network);
+        let validation_mae = per_substance_validation.iter().sum::<f64>()
+            / per_substance_validation.len() as f64;
+
+        // 6. Measured evaluation campaign.
+        let (measured_mae, per_substance_measured) = runner.run("evaluate", || {
+            let measured = run_evaluation_campaign(
+                prototype,
+                self.config.evaluation_samples_per_mixture,
+            )?;
+            let measured = self.resample_labeled(measured);
+            evaluate_on(&mut network, &measured)
+        })?;
+
+        Ok(MsRunReport {
+            characterization,
+            spec,
+            network,
+            history: outcome.history,
+            validation_mae,
+            per_substance_validation,
+            measured_mae,
+            per_substance_measured,
+            substances: self.config.substances.clone(),
+            calibration_samples_used,
+            training_recovery: outcome.recovery,
         })
     }
 

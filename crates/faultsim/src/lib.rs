@@ -1,0 +1,303 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] schedules faults at chosen points — NaN training
+//! batches, pipeline-stage failures, torn datastore writes — and the
+//! subsystems under test consult it through cheap hooks
+//! ([`FaultPlan::poison_batch`], [`FaultPlan::fail_stage`],
+//! [`FaultPlan::tear_write`]). Plans are either built explicitly or
+//! scattered pseudo-randomly from a seed, so every run of a fault
+//! scenario is reproducible. Each triggered fault is recorded in an
+//! event log for assertions.
+//!
+//! The plan is internally synchronised and is shared by reference (or
+//! `Arc`) across the training loop, the datastore and the pipeline
+//! runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// A fault that a [`FaultPlan`] actually delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A training batch was poisoned with non-finite values.
+    NanBatch {
+        /// Epoch of the poisoned batch.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+    },
+    /// A pipeline stage was made to fail.
+    StageFailure {
+        /// Stage name.
+        stage: String,
+        /// Failures still scheduled for this stage afterwards.
+        remaining: usize,
+    },
+    /// A datastore write was torn (truncated mid-write).
+    TornWrite {
+        /// Zero-based index of the torn write.
+        write_index: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct PlanInner {
+    nan_batches: BTreeSet<(usize, usize)>,
+    stage_failures: BTreeMap<String, usize>,
+    torn_writes: BTreeSet<u64>,
+    write_counter: u64,
+    events: Vec<FaultEvent>,
+}
+
+/// A deterministic schedule of faults to inject.
+///
+/// # Example
+///
+/// ```
+/// use faultsim::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .with_nan_batch(2, 0)
+///     .with_stage_failure("calibration", 1)
+///     .with_torn_write(3);
+/// assert!(plan.poison_batch(2, 0));
+/// assert!(!plan.poison_batch(2, 0), "each fault fires once");
+/// assert!(plan.fail_stage("calibration"));
+/// assert!(!plan.fail_stage("calibration"));
+/// assert_eq!(plan.events().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    inner: Mutex<PlanInner>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a NaN batch at `(epoch, batch)`.
+    pub fn with_nan_batch(self, epoch: usize, batch: usize) -> Self {
+        self.lock().nan_batches.insert((epoch, batch));
+        self
+    }
+
+    /// Schedules `times` consecutive failures of `stage`.
+    pub fn with_stage_failure(self, stage: &str, times: usize) -> Self {
+        *self.lock().stage_failures.entry(stage.to_string()).or_insert(0) += times;
+        self
+    }
+
+    /// Schedules the `nth` datastore write (zero-based, in plan lifetime
+    /// order) to be torn.
+    pub fn with_torn_write(self, nth: u64) -> Self {
+        self.lock().torn_writes.insert(nth);
+        self
+    }
+
+    /// Scatters `count` NaN batches pseudo-randomly (from `seed`) over an
+    /// `epochs` × `batches_per_epoch` grid.
+    pub fn with_scattered_nan_batches(
+        self,
+        seed: u64,
+        count: usize,
+        epochs: usize,
+        batches_per_epoch: usize,
+    ) -> Self {
+        let cells = epochs.saturating_mul(batches_per_epoch);
+        {
+            let mut inner = self.lock();
+            let mut stream = SplitMix64::new(seed);
+            let target = count.min(cells);
+            while inner.nan_batches.len() < target {
+                let cell = (stream.next() % cells.max(1) as u64) as usize;
+                inner
+                    .nan_batches
+                    .insert((cell / batches_per_epoch.max(1), cell % batches_per_epoch.max(1)));
+            }
+        }
+        self
+    }
+
+    /// Scatters `count` torn writes pseudo-randomly (from `seed`) over the
+    /// first `writes` writes.
+    pub fn with_scattered_torn_writes(self, seed: u64, count: usize, writes: u64) -> Self {
+        {
+            let mut inner = self.lock();
+            let mut stream = SplitMix64::new(seed);
+            let target = count.min(writes as usize);
+            while inner.torn_writes.len() < target {
+                inner.torn_writes.insert(stream.next() % writes.max(1));
+            }
+        }
+        self
+    }
+
+    /// Hook for the training loop: returns `true` if the batch at
+    /// `(epoch, batch)` should be poisoned. Fires at most once per
+    /// scheduled point.
+    pub fn poison_batch(&self, epoch: usize, batch: usize) -> bool {
+        let mut inner = self.lock();
+        if inner.nan_batches.remove(&(epoch, batch)) {
+            inner.events.push(FaultEvent::NanBatch { epoch, batch });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hook for stage runners: returns `true` if `stage` should fail this
+    /// attempt, consuming one scheduled failure.
+    pub fn fail_stage(&self, stage: &str) -> bool {
+        let mut inner = self.lock();
+        match inner.stage_failures.get_mut(stage) {
+            Some(remaining) if *remaining > 0 => {
+                *remaining -= 1;
+                let remaining = *remaining;
+                inner.events.push(FaultEvent::StageFailure {
+                    stage: stage.to_string(),
+                    remaining,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Hook for writers: counts one write and returns `true` if it should
+    /// be torn.
+    pub fn tear_write(&self) -> bool {
+        let mut inner = self.lock();
+        let index = inner.write_counter;
+        inner.write_counter += 1;
+        if inner.torn_writes.remove(&index) {
+            inner.events.push(FaultEvent::TornWrite { write_index: index });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Faults delivered so far, in delivery order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.lock().events.clone()
+    }
+
+    /// Number of scheduled faults not yet delivered.
+    pub fn pending(&self) -> usize {
+        let inner = self.lock();
+        inner.nan_batches.len()
+            + inner.stage_failures.values().sum::<usize>()
+            + inner.torn_writes.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// SplitMix64 — the small deterministic stream behind the `scattered`
+/// constructors.
+#[derive(Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_batches_fire_once() {
+        let plan = FaultPlan::new().with_nan_batch(1, 2);
+        assert!(!plan.poison_batch(0, 0));
+        assert!(plan.poison_batch(1, 2));
+        assert!(!plan.poison_batch(1, 2));
+        assert_eq!(plan.events(), vec![FaultEvent::NanBatch { epoch: 1, batch: 2 }]);
+    }
+
+    #[test]
+    fn stage_failures_count_down() {
+        let plan = FaultPlan::new().with_stage_failure("training", 2);
+        assert!(plan.fail_stage("training"));
+        assert!(plan.fail_stage("training"));
+        assert!(!plan.fail_stage("training"));
+        assert!(!plan.fail_stage("other"));
+        assert_eq!(plan.events().len(), 2);
+    }
+
+    #[test]
+    fn torn_writes_index_by_write_order() {
+        let plan = FaultPlan::new().with_torn_write(1);
+        assert!(!plan.tear_write()); // write 0
+        assert!(plan.tear_write()); // write 1
+        assert!(!plan.tear_write()); // write 2
+        assert_eq!(plan.events(), vec![FaultEvent::TornWrite { write_index: 1 }]);
+    }
+
+    #[test]
+    fn scattered_plans_are_deterministic() {
+        let a = FaultPlan::new().with_scattered_nan_batches(7, 5, 10, 8);
+        let b = FaultPlan::new().with_scattered_nan_batches(7, 5, 10, 8);
+        let mut fired_a = Vec::new();
+        let mut fired_b = Vec::new();
+        for epoch in 0..10 {
+            for batch in 0..8 {
+                if a.poison_batch(epoch, batch) {
+                    fired_a.push((epoch, batch));
+                }
+                if b.poison_batch(epoch, batch) {
+                    fired_b.push((epoch, batch));
+                }
+            }
+        }
+        assert_eq!(fired_a.len(), 5);
+        assert_eq!(fired_a, fired_b);
+    }
+
+    #[test]
+    fn pending_tracks_undelivered_faults() {
+        let plan = FaultPlan::new()
+            .with_nan_batch(0, 0)
+            .with_stage_failure("s", 3)
+            .with_torn_write(0);
+        assert_eq!(plan.pending(), 5);
+        plan.poison_batch(0, 0);
+        plan.fail_stage("s");
+        plan.tear_write();
+        assert_eq!(plan.pending(), 2);
+    }
+
+    #[test]
+    fn scattered_torn_writes_within_bounds() {
+        let plan = FaultPlan::new().with_scattered_torn_writes(3, 4, 20);
+        let mut torn = 0;
+        for _ in 0..20 {
+            if plan.tear_write() {
+                torn += 1;
+            }
+        }
+        assert_eq!(torn, 4);
+        assert_eq!(plan.pending(), 0);
+    }
+}

@@ -9,9 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 /// SELU scale constant (Klambauer et al., self-normalizing networks).
-pub const SELU_SCALE: f32 = 1.050_700_98;
+pub const SELU_SCALE: f32 = 1.050_701;
 /// SELU alpha constant.
-pub const SELU_ALPHA: f32 = 1.673_263_24;
+pub const SELU_ALPHA: f32 = 1.673_263_2;
 
 /// An activation function applied by a layer to its pre-activations.
 ///
@@ -75,7 +75,7 @@ impl Activation {
             }
             Activation::Softmax => {
                 assert!(
-                    group > 0 && values.len() % group == 0,
+                    group > 0 && values.len().is_multiple_of(group),
                     "softmax group {group} must divide {}",
                     values.len()
                 );
@@ -142,7 +142,7 @@ impl Activation {
             }
             Activation::Softmax => {
                 assert!(
-                    group > 0 && outputs.len() % group == 0,
+                    group > 0 && outputs.len().is_multiple_of(group),
                     "softmax group {group} must divide {}",
                     outputs.len()
                 );

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::guard::RecoveryEvent;
+
 /// Error type for network construction, training and serialization.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -21,10 +23,23 @@ pub enum NeuralError {
         /// The epoch at which divergence was detected.
         epoch: usize,
     },
+    /// Guarded training exhausted its recovery budget: every rollback +
+    /// learning-rate backoff attempt diverged again. Carries the full
+    /// recovery history for diagnosis.
+    TrainingDiverged {
+        /// The epoch at which the final divergence was detected.
+        epoch: usize,
+        /// Number of rollback attempts that were made.
+        retries: usize,
+        /// Every recovery action taken before giving up.
+        recovery: Vec<RecoveryEvent>,
+    },
     /// Weight import failed (wrong tensor count or sizes).
     InvalidWeights(String),
     /// JSON (de)serialization failed.
     Serde(String),
+    /// A filesystem operation failed (checkpoint persistence).
+    Io(String),
 }
 
 impl fmt::Display for NeuralError {
@@ -38,8 +53,19 @@ impl fmt::Display for NeuralError {
             NeuralError::Diverged { epoch } => {
                 write!(f, "training diverged at epoch {epoch}")
             }
+            NeuralError::TrainingDiverged {
+                epoch,
+                retries,
+                recovery,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} after {retries} rollback attempts \
+                 ({} recovery events)",
+                recovery.len()
+            ),
             NeuralError::InvalidWeights(msg) => write!(f, "invalid weights: {msg}"),
             NeuralError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            NeuralError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

@@ -289,7 +289,7 @@ mod tests {
     #[test]
     fn output_is_units_long() {
         let mut layer = Lstm::new(3, 4, 5, &mut rng()).unwrap();
-        let out = layer.forward(&vec![0.1; 12], false);
+        let out = layer.forward(&[0.1; 12], false);
         assert_eq!(out.len(), 5);
         assert!(out.iter().all(|v| v.is_finite()));
     }
@@ -308,14 +308,14 @@ mod tests {
         let mut short = Lstm::new(2, 2, 3, &mut rng()).unwrap();
         let mut long = Lstm::new(40, 2, 3, &mut rng()).unwrap();
         long.import_params(&short.export_params()).unwrap();
-        let x2: Vec<f32> = vec![0.5, -0.5].repeat(2);
-        let x40: Vec<f32> = vec![0.5, -0.5].repeat(40);
+        let x2: Vec<f32> = [0.5, -0.5].repeat(2);
+        let x40: Vec<f32> = [0.5, -0.5].repeat(40);
         let out_short = short.forward(&x2, false);
         let out_long_a = long.forward(&x40, false);
         // Running even longer barely changes the state.
         let mut longer = Lstm::new(41, 2, 3, &mut rng()).unwrap();
         longer.import_params(&short.export_params()).unwrap();
-        let x41: Vec<f32> = vec![0.5, -0.5].repeat(41);
+        let x41: Vec<f32> = [0.5, -0.5].repeat(41);
         let out_long_b = longer.forward(&x41, false);
         let drift: f32 = out_long_a
             .iter()

@@ -52,6 +52,7 @@
 
 pub mod activation;
 pub mod export;
+pub mod guard;
 pub mod init;
 pub mod layers;
 pub mod loss;

@@ -159,6 +159,20 @@ impl Network {
         }
     }
 
+    /// Euclidean norm of all accumulated parameter gradients — the
+    /// divergence-guard's explosion signal.
+    pub fn grad_norm(&mut self) -> f32 {
+        let mut sum = 0.0f64;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |_, grads| {
+                for &g in grads.iter() {
+                    sum += f64::from(g) * f64::from(g);
+                }
+            });
+        }
+        sum.sqrt() as f32
+    }
+
     /// Per-layer summary rows (the paper's Table 1 shape).
     pub fn summary(&self) -> Vec<LayerSummary> {
         self.layers.iter().map(|l| l.summary()).collect()
@@ -364,7 +378,7 @@ mod tests {
     #[test]
     fn param_count_sums_layers() {
         let net = two_layer();
-        assert_eq!(net.param_count(), (2 * 4 + 4) + (4 * 1 + 1));
+        assert_eq!(net.param_count(), (2 * 4 + 4) + (4 + 1));
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl NetworkSpec {
             match *layer {
                 LayerSpec::Reshape { channels: ch } => {
                     let total = channels * len;
-                    if ch == 0 || total % ch != 0 {
+                    if ch == 0 || !total.is_multiple_of(ch) {
                         return Err(invalid(format!("cannot reshape {total} into {ch} channels")));
                     }
                     channels = ch;
@@ -249,7 +249,7 @@ impl NetworkSpec {
                 }
                 LayerSpec::Lstm { units, timesteps } => {
                     let total = channels * len;
-                    if timesteps == 0 || total % timesteps != 0 {
+                    if timesteps == 0 || !total.is_multiple_of(timesteps) {
                         return Err(invalid(format!(
                             "lstm timesteps {timesteps} must divide input {total}"
                         )));

@@ -48,6 +48,11 @@ impl Dataset {
                     "sample {i} has inconsistent width"
                 )));
             }
+            if x.iter().chain(t.iter()).any(|v| !v.is_finite()) {
+                return Err(NeuralError::InvalidDataset(format!(
+                    "sample {i} contains non-finite values"
+                )));
+            }
         }
         Ok(Self { inputs, targets })
     }
@@ -302,7 +307,7 @@ impl Trainer {
                     return Err(NeuralError::Diverged { epoch });
                 }
                 history.val_loss.push(v);
-                let improved = best.as_ref().map_or(true, |(b, _)| v < *b);
+                let improved = best.as_ref().is_none_or(|(b, _)| v < *b);
                 if improved {
                     best = Some((v, network.export_weights()));
                     history.best_epoch = Some(epoch);
@@ -362,6 +367,9 @@ mod tests {
         assert!(Dataset::new(vec![vec![1.0]], vec![]).is_err());
         assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![vec![1.0]; 2]).is_err());
         assert!(Dataset::new(vec![vec![]], vec![vec![1.0]]).is_err());
+        assert!(Dataset::new(vec![vec![f32::NAN, 1.0]], vec![vec![1.0]]).is_err());
+        assert!(Dataset::new(vec![vec![1.0, 1.0]], vec![vec![f32::INFINITY]]).is_err());
+        assert!(Dataset::new(vec![vec![1.0, 1.0]], vec![vec![f32::NEG_INFINITY]]).is_err());
     }
 
     #[test]
@@ -392,7 +400,7 @@ mod tests {
         let data = linear_dataset(200);
         let mut net = small_net();
         let config = TrainConfig {
-            epochs: 150,
+            epochs: 400,
             batch_size: 16,
             loss: Loss::Mse,
             ..TrainConfig::default()

@@ -135,7 +135,12 @@ impl SpectraAugmenter {
                 components.len()
             )));
         }
-        if config.concentration_max.iter().any(|&m| !(m > 0.0)) {
+        // `m <= 0.0` alone would let NaN bounds through.
+        if config
+            .concentration_max
+            .iter()
+            .any(|&m| m.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater))
+        {
             return Err(NmrSimError::InvalidConfig(
                 "concentration bounds must be positive".into(),
             ));

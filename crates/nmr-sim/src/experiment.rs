@@ -247,7 +247,7 @@ impl FlowReactorExperiment {
 /// Deterministic per-component shift direction (mixing moves some signals
 /// upfield and others downfield).
 fn alternating_sign(index: usize) -> f64 {
-    if index % 2 == 0 {
+    if index.is_multiple_of(2) {
         1.0
     } else {
         -0.7

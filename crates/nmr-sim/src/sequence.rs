@@ -184,7 +184,7 @@ mod tests {
         let targets = vec![vec![1.0]; 3];
         assert!(sliding_windows(&spectra, &targets, 0).is_err());
         assert!(sliding_windows(&spectra, &targets, 4).is_err());
-        assert!(sliding_windows(&spectra, &targets[..2].to_vec(), 2).is_err());
+        assert!(sliding_windows(&spectra, &targets[..2], 2).is_err());
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl Device {
     ///
     /// Panics if any quantity is non-positive or non-finite (presets are
     /// static data; invalid values are programming errors).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         kind: DeviceKind,

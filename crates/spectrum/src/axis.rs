@@ -62,7 +62,8 @@ impl UniformAxis {
     /// Returns [`SpectrumError::InvalidAxis`] if `stop <= start` or `step`
     /// is not strictly positive and finite.
     pub fn from_range(start: f64, stop: f64, step: f64) -> Result<Self, SpectrumError> {
-        if !(stop > start) {
+        // NaN bounds must be rejected too, hence no plain `<=`.
+        if stop.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) {
             return Err(SpectrumError::InvalidAxis(format!(
                 "stop ({stop}) must exceed start ({start})"
             )));

@@ -226,8 +226,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SpectrumError> {
     let mut x = vec![0.0; n];
     for row in (0..n).rev() {
         let mut acc = rhs[row];
-        for c in (row + 1)..n {
-            acc -= m.get(row, c) * x[c];
+        for (c, &xc) in x.iter().enumerate().take(n).skip(row + 1) {
+            acc -= m.get(row, c) * xc;
         }
         x[row] = acc / m.get(row, row);
     }

@@ -52,7 +52,7 @@ pub fn find_peaks(
         }
     }
     // Highest first; suppress neighbours within min_separation.
-    candidates.sort_by(|&a, &b| ys[b].partial_cmp(&ys[a]).expect("finite"));
+    candidates.sort_by(|&a, &b| ys[b].total_cmp(&ys[a]));
     let mut kept: Vec<usize> = Vec::new();
     for &c in &candidates {
         if kept
@@ -110,7 +110,7 @@ pub fn savitzky_golay(
     window: usize,
     degree: usize,
 ) -> Result<ContinuousSpectrum, SpectrumError> {
-    if window == 0 || window % 2 == 0 {
+    if window == 0 || window.is_multiple_of(2) {
         return Err(SpectrumError::InvalidValue(format!(
             "window {window} must be odd and non-zero"
         )));

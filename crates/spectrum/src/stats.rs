@@ -137,7 +137,7 @@ pub fn per_column_mae(
     if width == 0 || predictions.is_empty() {
         return Err(SpectrumError::Empty);
     }
-    if predictions.len() != targets.len() || predictions.len() % width != 0 {
+    if predictions.len() != targets.len() || !predictions.len().is_multiple_of(width) {
         return Err(SpectrumError::ShapeMismatch {
             left: predictions.len(),
             right: targets.len(),
