@@ -1,0 +1,198 @@
+//! Load-drives the `serve` inference engine with the Table-1 MS network.
+//!
+//! Deploys a trained-shape network through the core deploy stage into a
+//! datastore, loads it into a `serve::ModelRegistry`, then fires a
+//! synthetic request stream at the engine. Verifies every served output
+//! is bit-identical to sequential `Network::predict`, compares batched
+//! multi-worker throughput against the single-thread sequential baseline
+//! and against the analytical platform model, and writes the numbers to
+//! `BENCH_serve.json` (+ a CSV series in `target/experiments/`).
+//!
+//! `--smoke` runs a small request count for CI and skips the speedup
+//! assertion (shared runners have unpredictable scheduling); the default
+//! and `SPECTROAI_FULL=1` scales assert that the engine beats the
+//! sequential baseline.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{banner, pick, write_csv};
+use datastore::Store;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serve::{Engine, ModelRegistry, Request, RetryPolicy, ServeConfig, Ticket};
+use spectroai::pipeline::deploy::deploy_network;
+use spectroai::pipeline::ms::{ActivationChoice, MsPipeline};
+
+const INPUT_LEN: usize = 397;
+const OUTPUTS: usize = 8;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "serve_load — batched inference serving on the Table-1 MS network",
+        "paper §III.A.2 Table 1 (deployed via Tool 4)",
+    );
+
+    let n_requests: usize = if smoke { 200 } else { pick(2_000, 20_000) };
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 1024,
+        max_batch: 32,
+        max_linger: std::time::Duration::from_micros(200),
+        // The driver front-loads the whole stream before waiting, so
+        // queue residency is measured in seconds, not the serving
+        // default's interactive budget.
+        default_deadline: std::time::Duration::from_secs(120),
+    };
+
+    // Tool-4 hand-off: deploy the network into a datastore, then load the
+    // registry from it — the exact path a serving node would take.
+    let spec = MsPipeline::table1_spec(INPUT_LEN, OUTPUTS, ActivationChoice::paper_best());
+    let mut network = spec.build(42).expect("build table-1 network");
+    let store = Store::in_memory();
+    let receipt = deploy_network(&store, "deployed_models", "table1-ms", spec, &network, [])
+        .expect("deploy table-1 network");
+    println!(
+        "deployed {} v{} ({} parameters) as {}",
+        receipt.name, receipt.version, receipt.parameter_count, receipt.document
+    );
+    let registry = Arc::new(ModelRegistry::new());
+    let loaded = registry
+        .load_from_store(&store, "deployed_models")
+        .expect("load registry from store");
+    assert_eq!(loaded, 1, "registry should load exactly the deployed model");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let inputs: Vec<Vec<f32>> = (0..n_requests)
+        .map(|_| (0..INPUT_LEN).map(|_| rng.gen_range(0.0f32..1.0)).collect())
+        .collect();
+
+    // Single-thread sequential baseline — also the bit-identity oracle.
+    let started = Instant::now();
+    let expected: Vec<Vec<f32>> = inputs.iter().map(|x| network.predict(x)).collect();
+    let sequential_seconds = started.elapsed().as_secs_f64();
+    let sequential_rps = n_requests as f64 / sequential_seconds;
+    println!(
+        "sequential: {n_requests} predictions in {sequential_seconds:.3}s ({sequential_rps:.0} req/s)"
+    );
+
+    // Batched multi-worker serving of the same stream.
+    let engine = Engine::start(Arc::clone(&registry), config.clone());
+    let retry = RetryPolicy {
+        max_attempts: 64,
+        base_delay_ms: 1,
+        backoff: 1.5,
+    };
+    let started = Instant::now();
+    let tickets: Vec<Ticket> = inputs
+        .iter()
+        .map(|x| {
+            engine
+                .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
+                .expect("submission should succeed within the retry budget")
+        })
+        .collect();
+    let mut mismatches = 0usize;
+    let mut max_batch_seen = 0usize;
+    for (ticket, want) in tickets.into_iter().zip(&expected) {
+        let prediction = ticket.wait().expect("request should complete");
+        if &prediction.output != want {
+            mismatches += 1;
+        }
+        max_batch_seen = max_batch_seen.max(prediction.batch_size);
+    }
+    let served_seconds = started.elapsed().as_secs_f64();
+    let served_rps = n_requests as f64 / served_seconds;
+    let report = engine.metrics().report();
+    let high_water = engine.queue_high_water();
+    engine.shutdown();
+
+    assert_eq!(
+        mismatches, 0,
+        "batched serving must be bit-identical to sequential Network::predict"
+    );
+    let speedup = served_rps / sequential_rps;
+    println!(
+        "served:     {n_requests} predictions in {served_seconds:.3}s ({served_rps:.0} req/s, \
+         {:.2}x sequential)",
+        speedup
+    );
+    println!(
+        "batching:   {} batches, mean size {:.2}, largest {max_batch_seen}, queue high-water {high_water}",
+        report.batches, report.mean_batch_size
+    );
+    println!(
+        "latency:    mean {:.0}us  p50<={}us  p95<={}us  p99<={}us  max {}us",
+        report.latency_mean_us,
+        report.latency_p50_us,
+        report.latency_p95_us,
+        report.latency_p99_us,
+        report.latency_max_us
+    );
+    if !smoke {
+        assert!(
+            speedup > 1.0,
+            "multi-worker batched serving should beat the sequential baseline \
+             (got {served_rps:.0} vs {sequential_rps:.0} req/s)"
+        );
+    }
+
+    // Close the loop against the analytical platform model.
+    let workload = platform::Workload::from_network("table1-ms", &network);
+    let device = platform::Device::desktop_i7_cpu();
+    let fit = platform::overlay::compare_measured(
+        &device,
+        &workload,
+        n_requests as u64,
+        served_seconds,
+    );
+    println!(
+        "model fit:  modelled {:.3}s vs measured {:.3}s on {} — ratio {:.2}",
+        fit.modelled_seconds, fit.measured_seconds, device.name, fit.ratio
+    );
+
+    let json = serde_json::json!({
+        "bench": "serve_load",
+        "smoke": smoke,
+        "model": "table1-ms",
+        "input_len": INPUT_LEN,
+        "outputs": OUTPUTS,
+        "requests": n_requests,
+        "workers": config.workers,
+        "max_batch": config.max_batch,
+        "max_linger_us": config.max_linger.as_micros() as u64,
+        "sequential_seconds": sequential_seconds,
+        "sequential_rps": sequential_rps,
+        "served_seconds": served_seconds,
+        "served_rps": served_rps,
+        "speedup": speedup,
+        "bit_identical": true,
+        "metrics": report,
+        "model_fit": fit,
+    });
+    let out = repo_root().join("BENCH_serve.json");
+    let pretty = serde_json::to_string_pretty(&json).expect("serialize report");
+    std::fs::write(&out, pretty).expect("write BENCH_serve.json");
+    println!("wrote {}", out.display());
+
+    let csv = write_csv(
+        "serve_load.csv",
+        "requests,workers,max_batch,sequential_rps,served_rps,speedup,p50_us,p95_us,p99_us,mean_batch",
+        &[format!(
+            "{n_requests},{},{},{sequential_rps:.1},{served_rps:.1},{speedup:.3},{},{},{},{:.2}",
+            config.workers,
+            config.max_batch,
+            report.latency_p50_us,
+            report.latency_p95_us,
+            report.latency_p99_us,
+            report.mean_batch_size
+        )],
+    );
+    println!("wrote {}", csv.display());
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

@@ -9,9 +9,10 @@
 
 use std::fmt;
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock, RwLockReadGuard,
-    RwLockWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock,
+    RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
 };
+use std::time::Duration;
 
 /// A reader-writer lock whose guards never require unwrapping.
 pub struct RwLock<T: ?Sized> {
@@ -112,6 +113,60 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`].
+///
+/// Deviation from real `parking_lot`: waits take and return the guard by
+/// value (`std::sync::Condvar` style) rather than `&mut guard`, because the
+/// guard here *is* a `std::sync::MutexGuard` and the std API consumes it.
+/// Poisoning is transparently recovered, matching the rest of this stub.
+#[derive(Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates the condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +185,33 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        handle.join().unwrap();
+        assert!(*ready);
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = m.lock();
+        let (_guard, result) = cv.wait_timeout(guard, Duration::from_millis(5));
+        assert!(result.timed_out());
     }
 }

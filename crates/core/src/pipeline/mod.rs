@@ -1,4 +1,5 @@
 //! The paper's two end-to-end flows.
 
+pub mod deploy;
 pub mod ms;
 pub mod nmr;

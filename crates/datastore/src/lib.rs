@@ -283,6 +283,35 @@ impl Store {
             .collect()
     }
 
+    /// Distinct values of metadata parameter `key` across a collection,
+    /// sorted. The model registry uses this to enumerate deployed model
+    /// names without fetching payloads.
+    pub fn param_values(&self, collection: &str, key: &str) -> Vec<String> {
+        let mut values: Vec<String> = self
+            .documents
+            .read()
+            .values()
+            .filter(|d| d.collection == collection)
+            .filter_map(|d| d.metadata.params.get(key).cloned())
+            .collect();
+        values.sort();
+        values.dedup();
+        values
+    }
+
+    /// The newest (highest logical sequence) document of a collection
+    /// whose metadata parameter `key` equals `value`, or `None` if no
+    /// document matches.
+    pub fn latest(&self, collection: &str, key: &str, value: &str) -> Option<Document> {
+        self.documents
+            .read()
+            .values()
+            .filter(|d| d.collection == collection)
+            .filter(|d| d.metadata.params.get(key).map(String::as_str) == Some(value))
+            .max_by_key(|d| d.metadata.sequence)
+            .cloned()
+    }
+
     /// Total number of documents.
     pub fn len(&self) -> usize {
         self.documents.read().len()
@@ -650,6 +679,51 @@ mod tests {
         let selu = store.query("networks", "activation", "selu");
         assert_eq!(selu.len(), 1);
         assert_eq!(selu[0].payload["value"], 1);
+    }
+
+    #[test]
+    fn param_values_lists_distinct_sorted() {
+        let store = Store::in_memory();
+        for name in ["ms-b", "ms-a", "ms-b"] {
+            store
+                .insert(
+                    "models",
+                    Metadata::created_by("deploy").with_param("model", name),
+                    &payload(0),
+                )
+                .unwrap();
+        }
+        store
+            .insert("other", Metadata::created_by("x").with_param("model", "zz"), &payload(0))
+            .unwrap();
+        assert_eq!(
+            store.param_values("models", "model"),
+            vec!["ms-a".to_string(), "ms-b".to_string()]
+        );
+        assert!(store.param_values("models", "missing").is_empty());
+    }
+
+    #[test]
+    fn latest_returns_highest_sequence_match() {
+        let store = Store::in_memory();
+        let first = store
+            .insert(
+                "models",
+                Metadata::created_by("deploy").with_param("model", "ms"),
+                &payload(1),
+            )
+            .unwrap();
+        let second = store
+            .insert(
+                "models",
+                Metadata::created_by("deploy").with_param("model", "ms"),
+                &payload(2),
+            )
+            .unwrap();
+        assert!(second > first);
+        let doc = store.latest("models", "model", "ms").unwrap();
+        assert_eq!(doc.id, second);
+        assert!(store.latest("models", "model", "nope").is_none());
     }
 
     #[test]

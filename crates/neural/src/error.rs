@@ -36,6 +36,14 @@ pub enum NeuralError {
     },
     /// Weight import failed (wrong tensor count or sizes).
     InvalidWeights(String),
+    /// An exported artifact was written by a newer export format than this
+    /// build understands (forward-compatibility guard).
+    UnsupportedFormat {
+        /// Format version found in the artifact.
+        found: u32,
+        /// Newest format version this build supports.
+        supported: u32,
+    },
     /// JSON (de)serialization failed.
     Serde(String),
     /// A filesystem operation failed (checkpoint persistence).
@@ -64,6 +72,10 @@ impl fmt::Display for NeuralError {
                 recovery.len()
             ),
             NeuralError::InvalidWeights(msg) => write!(f, "invalid weights: {msg}"),
+            NeuralError::UnsupportedFormat { found, supported } => write!(
+                f,
+                "unsupported export format version {found} (this build supports up to {supported})"
+            ),
             NeuralError::Serde(msg) => write!(f, "serialization error: {msg}"),
             NeuralError::Io(msg) => write!(f, "io error: {msg}"),
         }

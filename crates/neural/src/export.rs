@@ -61,13 +61,37 @@ impl ExportedNetwork {
         }
     }
 
-    /// Rebuilds a runnable network with the stored weights.
+    /// Checks the artifact without building anything: the format version
+    /// must be one this build understands, and every weight tensor must
+    /// have exactly the shape the spec calls for.
     ///
     /// # Errors
     ///
-    /// Returns [`NeuralError::InvalidSpec`] if the spec no longer builds,
-    /// or [`NeuralError::InvalidWeights`] if the weights do not fit it.
+    /// Returns [`NeuralError::UnsupportedFormat`] for artifacts written by
+    /// a newer exporter, [`NeuralError::InvalidSpec`] if the spec is
+    /// inconsistent, or [`NeuralError::InvalidWeights`] naming the first
+    /// layer whose tensors do not fit.
+    pub fn validate(&self) -> Result<(), NeuralError> {
+        if self.format_version > EXPORT_FORMAT_VERSION {
+            return Err(NeuralError::UnsupportedFormat {
+                found: self.format_version,
+                supported: EXPORT_FORMAT_VERSION,
+            });
+        }
+        crate::plan::validate_weights(&self.spec, &self.weights)
+    }
+
+    /// Rebuilds a runnable network with the stored weights, after
+    /// [`ExportedNetwork::validate`] passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::UnsupportedFormat`] for artifacts from a
+    /// newer export format, [`NeuralError::InvalidSpec`] if the spec no
+    /// longer builds, or [`NeuralError::InvalidWeights`] if the weights do
+    /// not fit it.
     pub fn instantiate(&self) -> Result<Network, NeuralError> {
+        self.validate()?;
         let mut network = self.spec.build(0)?;
         network.import_weights(&self.weights)?;
         Ok(network)
@@ -84,18 +108,23 @@ impl ExportedNetwork {
 
     /// Deserializes from JSON.
     ///
+    /// Older format versions are accepted (there is only one so far);
+    /// versions newer than [`EXPORT_FORMAT_VERSION`] are rejected so a
+    /// stale runtime never half-reads an artifact it does not understand.
+    ///
     /// # Errors
     ///
-    /// Returns [`NeuralError::Serde`] on malformed input or an unsupported
-    /// format version.
+    /// Returns [`NeuralError::Serde`] on malformed input, or
+    /// [`NeuralError::UnsupportedFormat`] for artifacts written by a newer
+    /// exporter.
     pub fn from_json(json: &str) -> Result<Self, NeuralError> {
         let parsed: Self =
             serde_json::from_str(json).map_err(|e| NeuralError::Serde(e.to_string()))?;
-        if parsed.format_version != EXPORT_FORMAT_VERSION {
-            return Err(NeuralError::Serde(format!(
-                "unsupported format version {}",
-                parsed.format_version
-            )));
+        if parsed.format_version > EXPORT_FORMAT_VERSION {
+            return Err(NeuralError::UnsupportedFormat {
+                found: parsed.format_version,
+                supported: EXPORT_FORMAT_VERSION,
+            });
         }
         Ok(parsed)
     }
@@ -152,7 +181,7 @@ mod tests {
     }
 
     #[test]
-    fn wrong_version_is_rejected() {
+    fn newer_version_is_rejected_with_structured_error() {
         let spec = demo_spec();
         let net = spec.build(1).unwrap();
         let mut exported = ExportedNetwork::from_network(spec, &net, "m");
@@ -160,8 +189,91 @@ mod tests {
         let json = serde_json::to_string(&exported).unwrap();
         assert!(matches!(
             ExportedNetwork::from_json(&json),
-            Err(NeuralError::Serde(_))
+            Err(NeuralError::UnsupportedFormat {
+                found: 99,
+                supported: EXPORT_FORMAT_VERSION,
+            })
         ));
+        assert!(matches!(
+            exported.validate(),
+            Err(NeuralError::UnsupportedFormat { .. })
+        ));
+        assert!(matches!(
+            exported.instantiate(),
+            Err(NeuralError::UnsupportedFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_checks_tensor_shapes_against_spec() {
+        let spec = demo_spec();
+        let net = spec.build(1).unwrap();
+        let mut exported = ExportedNetwork::from_network(spec, &net, "m");
+        exported.validate().unwrap();
+        // Truncate the conv filter weights: shape no longer matches.
+        exported.weights[1][0].pop();
+        assert!(matches!(
+            exported.validate(),
+            Err(NeuralError::InvalidWeights(_))
+        ));
+        assert!(matches!(
+            exported.instantiate(),
+            Err(NeuralError::InvalidWeights(_))
+        ));
+    }
+
+    fn roundtrip(spec: NetworkSpec, input: &[f32]) {
+        let mut net = spec.build(23).unwrap();
+        let exported = ExportedNetwork::from_network(spec, &net, "rt");
+        let json = exported.to_json().unwrap();
+        let restored = ExportedNetwork::from_json(&json).unwrap();
+        assert_eq!(restored, exported);
+        let mut rebuilt = restored.instantiate().unwrap();
+        assert_eq!(net.predict(input), rebuilt.predict(input));
+    }
+
+    #[test]
+    fn conv1d_roundtrip_preserves_predictions() {
+        let spec = NetworkSpec::new(12)
+            .layer(LayerSpec::Reshape { channels: 2 })
+            .layer(LayerSpec::Conv1d {
+                filters: 3,
+                kernel: 3,
+                stride: 1,
+                activation: Activation::Softmax,
+            })
+            .layer(LayerSpec::Flatten);
+        let x: Vec<f32> = (0..12).map(|i| (i as f32 * 0.3).sin()).collect();
+        roundtrip(spec, &x);
+    }
+
+    #[test]
+    fn locally_connected_roundtrip_preserves_predictions() {
+        let spec = NetworkSpec::new(10)
+            .layer(LayerSpec::LocallyConnected1d {
+                filters: 2,
+                kernel: 4,
+                stride: 2,
+                activation: Activation::Selu,
+            })
+            .layer(LayerSpec::Flatten);
+        let x: Vec<f32> = (0..10).map(|i| (i as f32 * 0.7).cos()).collect();
+        roundtrip(spec, &x);
+    }
+
+    #[test]
+    fn pool_layers_roundtrip_preserves_predictions() {
+        let spec = NetworkSpec::new(16)
+            .layer(LayerSpec::Reshape { channels: 2 })
+            .layer(LayerSpec::MaxPool1d { pool: 2, stride: 2 })
+            .layer(LayerSpec::AvgPool1d { pool: 2, stride: 1 })
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dense {
+                units: 3,
+                activation: Activation::Linear,
+            });
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 1.3).sin()).collect();
+        roundtrip(spec, &x);
     }
 
     #[test]

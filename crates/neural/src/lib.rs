@@ -58,6 +58,7 @@ pub mod layers;
 pub mod loss;
 pub mod network;
 pub mod optim;
+pub mod plan;
 pub mod spec;
 pub mod train;
 

@@ -1,0 +1,986 @@
+//! Frozen inference plans: immutable, shareable forward-only networks.
+//!
+//! [`crate::Network`] is a training object — every layer owns gradient
+//! buffers and forward caches, so `predict` needs `&mut self` and a
+//! network cannot be shared between threads. A [`FrozenPlan`] is the
+//! deployment counterpart: compiled once from an exported artifact, it
+//! holds nothing but pre-resolved layer shapes and weight tensors, all
+//! methods take `&self`, and the plan is `Send + Sync` — one `Arc` serves
+//! any number of worker threads (the `serve` crate's engine is built on
+//! exactly this property).
+//!
+//! Every op replicates the corresponding layer's *evaluation-mode*
+//! forward arithmetic operation-for-operation (same loop order, same
+//! `f32` accumulation), so plan predictions are **bit-identical** to
+//! [`crate::Network::predict`] on the same weights. `serve_load` in the
+//! bench crate verifies this end to end; [`FrozenPlan::predict_batch`]
+//! additionally runs whole micro-batches over one contiguous input block
+//! without intermediate reallocation per request hop.
+//!
+//! # Example
+//!
+//! ```
+//! use neural::export::ExportedNetwork;
+//! use neural::plan::FrozenPlan;
+//! use neural::spec::{LayerSpec, NetworkSpec};
+//! use neural::Activation;
+//!
+//! # fn main() -> Result<(), neural::NeuralError> {
+//! let spec = NetworkSpec::new(4).layer(LayerSpec::Dense {
+//!     units: 2,
+//!     activation: Activation::Softmax,
+//! });
+//! let mut net = spec.build(3)?;
+//! let exported = ExportedNetwork::from_network(spec, &net, "demo");
+//! let plan = FrozenPlan::compile(&exported)?;
+//! let x = [0.1, 0.2, 0.3, 0.4];
+//! assert_eq!(plan.predict(&x)?, net.predict(&x));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::export::ExportedNetwork;
+use crate::layers::conv_output_len;
+use crate::spec::{LayerSpec, NetworkSpec};
+use crate::{Activation, NeuralError};
+
+/// One forward-only op of a compiled plan. Weights are owned; shapes are
+/// resolved at compile time.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    /// Reshape / Flatten / eval-mode Dropout: identity on data.
+    Identity { len: usize },
+    /// Fully connected layer.
+    Dense {
+        input_len: usize,
+        units: usize,
+        activation: Activation,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    },
+    /// Strided 1-D convolution (shared kernels, channels-first).
+    Conv1d {
+        in_channels: usize,
+        in_len: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        out_len: usize,
+        activation: Activation,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    },
+    /// Locally connected 1-D layer (unshared kernels).
+    Local1d {
+        in_channels: usize,
+        in_len: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        out_len: usize,
+        activation: Activation,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    },
+    /// Max pooling.
+    MaxPool {
+        channels: usize,
+        in_len: usize,
+        pool: usize,
+        stride: usize,
+        out_len: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        channels: usize,
+        in_len: usize,
+        pool: usize,
+        stride: usize,
+        out_len: usize,
+    },
+    /// Highway layer.
+    Highway {
+        width: usize,
+        activation: Activation,
+        w_h: Vec<f32>,
+        b_h: Vec<f32>,
+        w_t: Vec<f32>,
+        b_t: Vec<f32>,
+    },
+    /// Residual dense block.
+    ResidualDense {
+        width: usize,
+        activation: Activation,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    },
+    /// LSTM returning the last hidden state.
+    Lstm {
+        timesteps: usize,
+        features: usize,
+        units: usize,
+        w: Vec<f32>,
+        u: Vec<f32>,
+        b: Vec<f32>,
+    },
+}
+
+impl PlanOp {
+    fn output_len(&self) -> usize {
+        match self {
+            PlanOp::Identity { len } => *len,
+            PlanOp::Dense { units, .. } => *units,
+            PlanOp::Conv1d {
+                filters, out_len, ..
+            }
+            | PlanOp::Local1d {
+                filters, out_len, ..
+            } => filters * out_len,
+            PlanOp::MaxPool {
+                channels, out_len, ..
+            }
+            | PlanOp::AvgPool {
+                channels, out_len, ..
+            } => channels * out_len,
+            PlanOp::Highway { width, .. } | PlanOp::ResidualDense { width, .. } => *width,
+            PlanOp::Lstm { units, .. } => *units,
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        match self {
+            PlanOp::Identity { .. } | PlanOp::MaxPool { .. } | PlanOp::AvgPool { .. } => 0,
+            PlanOp::Dense { weights, bias, .. }
+            | PlanOp::Conv1d { weights, bias, .. }
+            | PlanOp::Local1d { weights, bias, .. }
+            | PlanOp::ResidualDense { weights, bias, .. } => weights.len() + bias.len(),
+            PlanOp::Highway { w_h, b_h, w_t, b_t, .. } => {
+                w_h.len() + b_h.len() + w_t.len() + b_t.len()
+            }
+            PlanOp::Lstm { w, u, b, .. } => w.len() + u.len() + b.len(),
+        }
+    }
+
+    /// MAC count per inference, matching
+    /// [`crate::Network::macs_per_inference`]'s accounting.
+    fn macs(&self) -> u64 {
+        let params = self.param_count() as u64;
+        match self {
+            PlanOp::Conv1d { out_len, .. } => params * *out_len as u64,
+            PlanOp::Lstm { timesteps, .. } => params * *timesteps as u64,
+            _ => params,
+        }
+    }
+
+    /// Applies the op to one sample, replicating the layer's eval-mode
+    /// forward arithmetic exactly.
+    fn apply(&self, input: &[f32]) -> Vec<f32> {
+        match self {
+            PlanOp::Identity { .. } => input.to_vec(),
+            PlanOp::Dense {
+                input_len,
+                units,
+                activation,
+                weights,
+                bias,
+            } => {
+                let mut out = bias.clone();
+                for (u, slot) in out.iter_mut().enumerate() {
+                    let row = &weights[u * input_len..(u + 1) * input_len];
+                    let mut acc = 0.0f32;
+                    for (w, x) in row.iter().zip(input) {
+                        acc += w * x;
+                    }
+                    *slot += acc;
+                }
+                activation.apply(&mut out, *units);
+                out
+            }
+            PlanOp::Conv1d {
+                in_channels,
+                in_len,
+                filters,
+                kernel,
+                stride,
+                out_len,
+                activation,
+                weights,
+                bias,
+            } => {
+                let mut out = vec![0.0f32; filters * out_len];
+                for f in 0..*filters {
+                    let b = bias[f];
+                    for op in 0..*out_len {
+                        let start = op * stride;
+                        let mut acc = b;
+                        for ic in 0..*in_channels {
+                            let w_base = (f * in_channels + ic) * kernel;
+                            let x_base = ic * in_len + start;
+                            let w = &weights[w_base..w_base + kernel];
+                            let x = &input[x_base..x_base + kernel];
+                            let mut dot = 0.0f32;
+                            for (wi, xi) in w.iter().zip(x) {
+                                dot += wi * xi;
+                            }
+                            acc += dot;
+                        }
+                        out[f * out_len + op] = acc;
+                    }
+                }
+                channelwise_activation(&mut out, *activation, *filters, *out_len);
+                out
+            }
+            PlanOp::Local1d {
+                in_channels,
+                in_len,
+                filters,
+                kernel,
+                stride,
+                out_len,
+                activation,
+                weights,
+                bias,
+            } => {
+                let mut out = vec![0.0f32; filters * out_len];
+                for op in 0..*out_len {
+                    let start = op * stride;
+                    for f in 0..*filters {
+                        let mut acc = bias[op * filters + f];
+                        for ic in 0..*in_channels {
+                            let w_base = ((op * filters + f) * in_channels + ic) * kernel;
+                            let x_base = ic * in_len + start;
+                            let w = &weights[w_base..w_base + kernel];
+                            let x = &input[x_base..x_base + kernel];
+                            for (wi, xi) in w.iter().zip(x) {
+                                acc += wi * xi;
+                            }
+                        }
+                        out[f * out_len + op] = acc;
+                    }
+                }
+                channelwise_activation(&mut out, *activation, *filters, *out_len);
+                out
+            }
+            PlanOp::MaxPool {
+                channels,
+                in_len,
+                pool,
+                stride,
+                out_len,
+            } => {
+                let mut out = vec![0.0f32; channels * out_len];
+                for c in 0..*channels {
+                    for op in 0..*out_len {
+                        let start = c * in_len + op * stride;
+                        let window = &input[start..start + pool];
+                        let v = *window
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                            .expect("non-empty window")
+                            .1;
+                        out[c * out_len + op] = v;
+                    }
+                }
+                out
+            }
+            PlanOp::AvgPool {
+                channels,
+                in_len,
+                pool,
+                stride,
+                out_len,
+            } => {
+                let mut out = vec![0.0f32; channels * out_len];
+                let inv = 1.0 / *pool as f32;
+                for c in 0..*channels {
+                    for op in 0..*out_len {
+                        let start = c * in_len + op * stride;
+                        let sum: f32 = input[start..start + pool].iter().sum();
+                        out[c * out_len + op] = sum * inv;
+                    }
+                }
+                out
+            }
+            PlanOp::Highway {
+                width,
+                activation,
+                w_h,
+                b_h,
+                w_t,
+                b_t,
+            } => {
+                let mut h = affine(*width, w_h, b_h, input);
+                activation.apply(&mut h, *width);
+                let mut t = affine(*width, w_t, b_t, input);
+                Activation::Sigmoid.apply(&mut t, 1);
+                h.iter()
+                    .zip(&t)
+                    .zip(input)
+                    .map(|((&hi, &ti), &xi)| ti * hi + (1.0 - ti) * xi)
+                    .collect()
+            }
+            PlanOp::ResidualDense {
+                width,
+                activation,
+                weights,
+                bias,
+            } => {
+                let mut branch = affine(*width, weights, bias, input);
+                activation.apply(&mut branch, *width);
+                branch.iter().zip(input).map(|(&b, &x)| b + x).collect()
+            }
+            PlanOp::Lstm {
+                timesteps,
+                features,
+                units,
+                w,
+                u,
+                b,
+            } => {
+                let h = *units;
+                let d = *features;
+                let mut h_prev = vec![0.0f32; h];
+                let mut c_prev = vec![0.0f32; h];
+                for t in 0..*timesteps {
+                    let x_t = &input[t * d..(t + 1) * d];
+                    let mut z = b.clone();
+                    for (row, slot) in z.iter_mut().enumerate() {
+                        let wr = &w[row * d..(row + 1) * d];
+                        let mut acc = 0.0f32;
+                        for (wi, xi) in wr.iter().zip(x_t) {
+                            acc += wi * xi;
+                        }
+                        let ur = &u[row * h..(row + 1) * h];
+                        for (ui, hi) in ur.iter().zip(&h_prev) {
+                            acc += ui * hi;
+                        }
+                        *slot += acc;
+                    }
+                    let mut h_next = vec![0.0f32; h];
+                    let mut c_next = vec![0.0f32; h];
+                    for j in 0..h {
+                        let i_g = sigmoid(z[j]);
+                        let f_g = sigmoid(z[h + j]);
+                        let g_g = z[2 * h + j].tanh();
+                        let o_g = sigmoid(z[3 * h + j]);
+                        let c = f_g * c_prev[j] + i_g * g_g;
+                        c_next[j] = c;
+                        h_next[j] = o_g * c.tanh();
+                    }
+                    h_prev = h_next;
+                    c_prev = c_next;
+                }
+                h_prev
+            }
+        }
+    }
+}
+
+/// Dense-style affine map `W x + b`, same accumulation order as
+/// `Highway::affine` / `ResidualDense::forward`.
+fn affine(width: usize, weights: &[f32], bias: &[f32], input: &[f32]) -> Vec<f32> {
+    let mut out = bias.to_vec();
+    for (u, slot) in out.iter_mut().enumerate() {
+        let row = &weights[u * width..(u + 1) * width];
+        let mut acc = 0.0f32;
+        for (w, x) in row.iter().zip(input) {
+            acc += w * x;
+        }
+        *slot += acc;
+    }
+    out
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Applies a conv-style activation: softmax normalizes across channels at
+/// each spatial position (regroup, apply, regroup back — exactly as
+/// `Conv1d::forward` / `LocallyConnected1d::forward` do), everything else
+/// is elementwise.
+fn channelwise_activation(out: &mut [f32], activation: Activation, filters: usize, out_len: usize) {
+    if activation == Activation::Softmax {
+        let mut grouped = vec![0.0f32; out.len()];
+        for f in 0..filters {
+            for op in 0..out_len {
+                grouped[op * filters + f] = out[f * out_len + op];
+            }
+        }
+        activation.apply(&mut grouped, filters);
+        for f in 0..filters {
+            for op in 0..out_len {
+                out[f * out_len + op] = grouped[op * filters + f];
+            }
+        }
+    } else {
+        activation.apply(out, 1);
+    }
+}
+
+/// Expected parameter-tensor lengths for every layer of `spec`, in
+/// [`crate::Network::export_weights`] order. Shared by plan compilation
+/// and [`ExportedNetwork::validate`].
+///
+/// # Errors
+///
+/// Returns [`NeuralError::InvalidSpec`] if the spec itself is
+/// inconsistent (same conditions as [`NetworkSpec::build`]).
+pub fn expected_tensor_shapes(spec: &NetworkSpec) -> Result<Vec<Vec<usize>>, NeuralError> {
+    let mut shapes = Vec::with_capacity(spec.layers.len());
+    walk_spec(spec, |_, _, expected| shapes.push(expected))?;
+    Ok(shapes)
+}
+
+/// Walks a spec layer by layer, resolving the running `channels × len`
+/// shape exactly like [`NetworkSpec::build`], and hands each layer's spec,
+/// resolved input shape and expected tensor lengths to `visit`.
+fn walk_spec(
+    spec: &NetworkSpec,
+    mut visit: impl FnMut(&LayerSpec, (usize, usize), Vec<usize>),
+) -> Result<(usize, usize), NeuralError> {
+    if spec.input_len == 0 {
+        return Err(NeuralError::InvalidSpec("input length is zero".into()));
+    }
+    if spec.layers.is_empty() {
+        return Err(NeuralError::InvalidSpec("spec has no layers".into()));
+    }
+    let mut channels = 1usize;
+    let mut len = spec.input_len;
+    for (i, layer) in spec.layers.iter().enumerate() {
+        let invalid = |msg: String| NeuralError::InvalidSpec(format!("layer {i}: {msg}"));
+        let in_shape = (channels, len);
+        let expected: Vec<usize> = match *layer {
+            LayerSpec::Reshape { channels: ch } => {
+                let total = channels * len;
+                if ch == 0 || !total.is_multiple_of(ch) {
+                    return Err(invalid(format!("cannot reshape {total} into {ch} channels")));
+                }
+                channels = ch;
+                len = total / ch;
+                Vec::new()
+            }
+            LayerSpec::Conv1d {
+                filters,
+                kernel,
+                stride,
+                ..
+            } => {
+                if filters == 0 {
+                    return Err(invalid("conv1d filters must be non-zero".into()));
+                }
+                let out_len = conv_output_len(len, kernel, stride).map_err(|e| invalid(e.to_string()))?;
+                let w = filters * channels * kernel;
+                channels = filters;
+                len = out_len;
+                vec![w, filters]
+            }
+            LayerSpec::LocallyConnected1d {
+                filters,
+                kernel,
+                stride,
+                ..
+            } => {
+                if filters == 0 {
+                    return Err(invalid("locally connected filters must be non-zero".into()));
+                }
+                let out_len = conv_output_len(len, kernel, stride).map_err(|e| invalid(e.to_string()))?;
+                let w = out_len * filters * channels * kernel;
+                let b = out_len * filters;
+                channels = filters;
+                len = out_len;
+                vec![w, b]
+            }
+            LayerSpec::MaxPool1d { pool, stride } | LayerSpec::AvgPool1d { pool, stride } => {
+                len = conv_output_len(len, pool, stride).map_err(|e| invalid(e.to_string()))?;
+                Vec::new()
+            }
+            LayerSpec::Flatten => {
+                len *= channels;
+                channels = 1;
+                Vec::new()
+            }
+            LayerSpec::Dense { units, .. } => {
+                if units == 0 {
+                    return Err(invalid("dense units must be non-zero".into()));
+                }
+                let input = channels * len;
+                channels = 1;
+                len = units;
+                vec![input * units, units]
+            }
+            LayerSpec::Dropout { rate } => {
+                if !(0.0..1.0).contains(&rate) {
+                    return Err(invalid(format!("dropout rate {rate} must lie in [0, 1)")));
+                }
+                len *= channels;
+                channels = 1;
+                Vec::new()
+            }
+            LayerSpec::Highway { .. } => {
+                let width = channels * len;
+                channels = 1;
+                len = width;
+                vec![width * width, width, width * width, width]
+            }
+            LayerSpec::ResidualDense { .. } => {
+                let width = channels * len;
+                channels = 1;
+                len = width;
+                vec![width * width, width]
+            }
+            LayerSpec::Lstm { units, timesteps } => {
+                let total = channels * len;
+                if timesteps == 0 || !total.is_multiple_of(timesteps) {
+                    return Err(invalid(format!(
+                        "lstm timesteps {timesteps} must divide input {total}"
+                    )));
+                }
+                if units == 0 {
+                    return Err(invalid("lstm units must be non-zero".into()));
+                }
+                let features = total / timesteps;
+                channels = 1;
+                len = units;
+                vec![4 * units * features, 4 * units * units, 4 * units]
+            }
+        };
+        visit(layer, in_shape, expected);
+    }
+    Ok((channels, len))
+}
+
+/// Validates that `weights` (in [`crate::Network::export_weights`] layout)
+/// fit `spec` tensor-by-tensor.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::InvalidSpec`] if the spec is inconsistent, or
+/// [`NeuralError::InvalidWeights`] naming the first offending layer.
+pub fn validate_weights(spec: &NetworkSpec, weights: &[Vec<Vec<f32>>]) -> Result<(), NeuralError> {
+    let shapes = expected_tensor_shapes(spec)?;
+    if weights.len() != shapes.len() {
+        return Err(NeuralError::InvalidWeights(format!(
+            "expected {} layers, got {}",
+            shapes.len(),
+            weights.len()
+        )));
+    }
+    for (i, (expected, actual)) in shapes.iter().zip(weights).enumerate() {
+        if expected.len() != actual.len() {
+            return Err(NeuralError::InvalidWeights(format!(
+                "layer {i}: expected {} tensors, got {}",
+                expected.len(),
+                actual.len()
+            )));
+        }
+        for (t, (&want, have)) in expected.iter().zip(actual).enumerate() {
+            if have.len() != want {
+                return Err(NeuralError::InvalidWeights(format!(
+                    "layer {i} tensor {t}: expected {} values, got {}",
+                    want,
+                    have.len()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An immutable, forward-only compiled network: pre-resolved shapes, owned
+/// weights, no training state. `Send + Sync`; share via `Arc`.
+#[derive(Debug, Clone)]
+pub struct FrozenPlan {
+    name: String,
+    input_len: usize,
+    output_len: usize,
+    ops: Vec<PlanOp>,
+    parameter_count: usize,
+    macs_per_inference: u64,
+}
+
+impl FrozenPlan {
+    /// Compiles an exported artifact into a frozen plan, validating the
+    /// weights against the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::UnsupportedFormat`] for artifacts from a
+    /// newer export format, [`NeuralError::InvalidSpec`] /
+    /// [`NeuralError::InvalidWeights`] for inconsistent topologies or
+    /// tensors.
+    pub fn compile(exported: &ExportedNetwork) -> Result<Self, NeuralError> {
+        exported.validate()?;
+        Self::from_spec_weights(&exported.name, &exported.spec, &exported.weights)
+    }
+
+    /// Compiles a spec + weight tensors (in
+    /// [`crate::Network::export_weights`] layout) into a frozen plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidSpec`] or
+    /// [`NeuralError::InvalidWeights`] as for [`FrozenPlan::compile`].
+    pub fn from_spec_weights(
+        name: &str,
+        spec: &NetworkSpec,
+        weights: &[Vec<Vec<f32>>],
+    ) -> Result<Self, NeuralError> {
+        validate_weights(spec, weights)?;
+        let mut ops = Vec::with_capacity(spec.layers.len());
+        let mut index = 0usize;
+        walk_spec(spec, |layer, (channels, len), _| {
+            let tensors = &weights[index];
+            index += 1;
+            let op = match *layer {
+                LayerSpec::Reshape { .. } | LayerSpec::Flatten | LayerSpec::Dropout { .. } => {
+                    PlanOp::Identity {
+                        len: channels * len,
+                    }
+                }
+                LayerSpec::Conv1d {
+                    filters,
+                    kernel,
+                    stride,
+                    activation,
+                } => PlanOp::Conv1d {
+                    in_channels: channels,
+                    in_len: len,
+                    filters,
+                    kernel,
+                    stride,
+                    out_len: (len - kernel) / stride + 1,
+                    activation,
+                    weights: tensors[0].clone(),
+                    bias: tensors[1].clone(),
+                },
+                LayerSpec::LocallyConnected1d {
+                    filters,
+                    kernel,
+                    stride,
+                    activation,
+                } => PlanOp::Local1d {
+                    in_channels: channels,
+                    in_len: len,
+                    filters,
+                    kernel,
+                    stride,
+                    out_len: (len - kernel) / stride + 1,
+                    activation,
+                    weights: tensors[0].clone(),
+                    bias: tensors[1].clone(),
+                },
+                LayerSpec::MaxPool1d { pool, stride } => PlanOp::MaxPool {
+                    channels,
+                    in_len: len,
+                    pool,
+                    stride,
+                    out_len: (len - pool) / stride + 1,
+                },
+                LayerSpec::AvgPool1d { pool, stride } => PlanOp::AvgPool {
+                    channels,
+                    in_len: len,
+                    pool,
+                    stride,
+                    out_len: (len - pool) / stride + 1,
+                },
+                LayerSpec::Dense { units, activation } => PlanOp::Dense {
+                    input_len: channels * len,
+                    units,
+                    activation,
+                    weights: tensors[0].clone(),
+                    bias: tensors[1].clone(),
+                },
+                LayerSpec::Highway { activation } => PlanOp::Highway {
+                    width: channels * len,
+                    activation,
+                    w_h: tensors[0].clone(),
+                    b_h: tensors[1].clone(),
+                    w_t: tensors[2].clone(),
+                    b_t: tensors[3].clone(),
+                },
+                LayerSpec::ResidualDense { activation } => PlanOp::ResidualDense {
+                    width: channels * len,
+                    activation,
+                    weights: tensors[0].clone(),
+                    bias: tensors[1].clone(),
+                },
+                LayerSpec::Lstm { units, timesteps } => PlanOp::Lstm {
+                    timesteps,
+                    features: channels * len / timesteps,
+                    units,
+                    w: tensors[0].clone(),
+                    u: tensors[1].clone(),
+                    b: tensors[2].clone(),
+                },
+            };
+            ops.push(op);
+        })?;
+        let output_len = ops.last().map(PlanOp::output_len).unwrap_or(0);
+        let parameter_count = ops.iter().map(PlanOp::param_count).sum();
+        let macs_per_inference = ops.iter().map(PlanOp::macs).sum();
+        Ok(Self {
+            name: name.to_string(),
+            input_len: spec.input_len,
+            output_len,
+            ops,
+            parameter_count,
+            macs_per_inference,
+        })
+    }
+
+    /// The model name carried over from the export.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected input length.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Produced output length.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// Total scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.parameter_count
+    }
+
+    /// Multiply–accumulate operations per inference, with the same
+    /// accounting as [`crate::Network::macs_per_inference`].
+    pub fn macs_per_inference(&self) -> u64 {
+        self.macs_per_inference
+    }
+
+    /// Runs one sample through the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if `input` has the wrong
+    /// length (the serving path wants an error, not a panic).
+    pub fn predict(&self, input: &[f32]) -> Result<Vec<f32>, NeuralError> {
+        if input.len() != self.input_len {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.input_len,
+                actual: input.len(),
+            });
+        }
+        let mut x = input.to_vec();
+        for op in &self.ops {
+            x = op.apply(&x);
+        }
+        Ok(x)
+    }
+
+    /// Runs a contiguous block of `inputs.len() / input_len` samples and
+    /// appends their outputs contiguously to `outputs`. Returns the batch
+    /// size.
+    ///
+    /// Per-sample arithmetic is identical to [`FrozenPlan::predict`], so
+    /// batched results are bit-identical to sequential ones; batching
+    /// amortizes dispatch and keeps inputs/outputs in single contiguous
+    /// allocations for cache-friendly worker loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] if `inputs.len()` is not a
+    /// non-zero multiple of [`FrozenPlan::input_len`].
+    pub fn predict_batch(
+        &self,
+        inputs: &[f32],
+        outputs: &mut Vec<f32>,
+    ) -> Result<usize, NeuralError> {
+        if inputs.is_empty() || !inputs.len().is_multiple_of(self.input_len) {
+            return Err(NeuralError::ShapeMismatch {
+                expected: self.input_len,
+                actual: inputs.len(),
+            });
+        }
+        let batch = inputs.len() / self.input_len;
+        outputs.reserve(batch * self.output_len);
+        for sample in inputs.chunks_exact(self.input_len) {
+            let mut x = sample.to_vec();
+            for op in &self.ops {
+                x = op.apply(&x);
+            }
+            outputs.extend_from_slice(&x);
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LayerSpec, NetworkSpec};
+
+    /// A spec exercising every layer kind with parameters plus pooling,
+    /// dropout and shape ops.
+    fn kitchen_sink_spec() -> NetworkSpec {
+        NetworkSpec::new(24)
+            .layer(LayerSpec::Reshape { channels: 2 })
+            .layer(LayerSpec::Conv1d {
+                filters: 3,
+                kernel: 3,
+                stride: 1,
+                activation: Activation::Selu,
+            })
+            .layer(LayerSpec::MaxPool1d { pool: 2, stride: 2 })
+            .layer(LayerSpec::AvgPool1d { pool: 2, stride: 1 })
+            .layer(LayerSpec::LocallyConnected1d {
+                filters: 2,
+                kernel: 2,
+                stride: 1,
+                activation: Activation::Softmax,
+            })
+            .layer(LayerSpec::Flatten)
+            .layer(LayerSpec::Dropout { rate: 0.4 })
+            .layer(LayerSpec::Highway {
+                activation: Activation::Tanh,
+            })
+            .layer(LayerSpec::ResidualDense {
+                activation: Activation::Relu,
+            })
+            .layer(LayerSpec::Dense {
+                units: 4,
+                activation: Activation::Softmax,
+            })
+    }
+
+    fn sample(len: usize) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32) * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn plan_matches_network_bit_for_bit_on_all_layer_kinds() {
+        let spec = kitchen_sink_spec();
+        let mut net = spec.build(17).unwrap();
+        let plan = FrozenPlan::from_spec_weights("sink", &spec, &net.export_weights()).unwrap();
+        for seed in 0..5 {
+            let x: Vec<f32> = (0..24)
+                .map(|i| (((i + seed * 31) as f32) * 0.21).cos())
+                .collect();
+            assert_eq!(plan.predict(&x).unwrap(), net.predict(&x));
+        }
+    }
+
+    #[test]
+    fn plan_matches_network_on_lstm() {
+        let spec = NetworkSpec::new(20)
+            .layer(LayerSpec::Lstm {
+                units: 6,
+                timesteps: 4,
+            })
+            .layer(LayerSpec::Dense {
+                units: 3,
+                activation: Activation::Linear,
+            });
+        let mut net = spec.build(9).unwrap();
+        let plan = FrozenPlan::from_spec_weights("lstm", &spec, &net.export_weights()).unwrap();
+        let x = sample(20);
+        assert_eq!(plan.predict(&x).unwrap(), net.predict(&x));
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_sequential() {
+        let spec = kitchen_sink_spec();
+        let mut net = spec.build(3).unwrap();
+        let plan = FrozenPlan::from_spec_weights("sink", &spec, &net.export_weights()).unwrap();
+        let batch = 7;
+        let mut block = Vec::new();
+        for s in 0..batch {
+            block.extend((0..24).map(|i| (((i * 7 + s * 13) as f32) * 0.11).sin()));
+        }
+        let mut out = Vec::new();
+        assert_eq!(plan.predict_batch(&block, &mut out).unwrap(), batch);
+        assert_eq!(out.len(), batch * plan.output_len());
+        for s in 0..batch {
+            let x = &block[s * 24..(s + 1) * 24];
+            assert_eq!(
+                &out[s * plan.output_len()..(s + 1) * plan.output_len()],
+                net.predict(x).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_metadata_matches_network() {
+        let spec = kitchen_sink_spec();
+        let net = spec.build(1).unwrap();
+        let plan = FrozenPlan::from_spec_weights("m", &spec, &net.export_weights()).unwrap();
+        assert_eq!(plan.input_len(), net.input_len());
+        assert_eq!(plan.output_len(), net.output_len());
+        assert_eq!(plan.parameter_count(), net.param_count());
+        assert_eq!(plan.macs_per_inference(), net.macs_per_inference());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_shapes() {
+        let spec = NetworkSpec::new(4).layer(LayerSpec::Dense {
+            units: 2,
+            activation: Activation::Linear,
+        });
+        let net = spec.build(1).unwrap();
+        let plan = FrozenPlan::from_spec_weights("m", &spec, &net.export_weights()).unwrap();
+        assert!(matches!(
+            plan.predict(&[0.0; 3]),
+            Err(NeuralError::ShapeMismatch { expected: 4, actual: 3 })
+        ));
+        let mut out = Vec::new();
+        assert!(plan.predict_batch(&[0.0; 7], &mut out).is_err());
+        assert!(plan.predict_batch(&[], &mut out).is_err());
+    }
+
+    #[test]
+    fn validate_weights_names_offending_layer() {
+        let spec = kitchen_sink_spec();
+        let net = spec.build(1).unwrap();
+        let mut weights = net.export_weights();
+        // Tamper with the dense layer's bias length.
+        let last = weights.last_mut().unwrap();
+        last[1].push(0.0);
+        let err = validate_weights(&spec, &weights).unwrap_err();
+        assert!(matches!(err, NeuralError::InvalidWeights(_)), "{err:?}");
+        assert!(err.to_string().contains("layer 9"), "{err}");
+    }
+
+    #[test]
+    fn validate_weights_rejects_wrong_layer_and_tensor_counts() {
+        let spec = NetworkSpec::new(4).layer(LayerSpec::Dense {
+            units: 2,
+            activation: Activation::Linear,
+        });
+        let net = spec.build(1).unwrap();
+        let mut weights = net.export_weights();
+        weights.pop();
+        assert!(validate_weights(&spec, &weights).is_err());
+        let mut weights = net.export_weights();
+        weights[0].pop();
+        assert!(validate_weights(&spec, &weights).is_err());
+    }
+
+    #[test]
+    fn plan_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenPlan>();
+    }
+
+    #[test]
+    fn expected_shapes_cover_every_layer() {
+        let spec = kitchen_sink_spec();
+        let shapes = expected_tensor_shapes(&spec).unwrap();
+        assert_eq!(shapes.len(), spec.layers.len());
+        let net = spec.build(1).unwrap();
+        let exported = net.export_weights();
+        for (expected, actual) in shapes.iter().zip(&exported) {
+            assert_eq!(expected.len(), actual.len());
+            for (want, have) in expected.iter().zip(actual) {
+                assert_eq!(*want, have.len());
+            }
+        }
+    }
+}

@@ -181,6 +181,44 @@ impl SoftGpu {
     }
 }
 
+/// How well the analytical model predicted a real serving run: the
+/// modelled wall-clock for the same device/workload/sample count next to
+/// the measured one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelFit {
+    /// Seconds the analytical [`crate::estimate`] predicts.
+    pub modelled_seconds: f64,
+    /// Seconds the serving engine actually took.
+    pub measured_seconds: f64,
+    /// `measured / modelled` — above 1 the model is optimistic
+    /// (dispatch, queueing and memory traffic it does not see), below 1
+    /// it is pessimistic.
+    pub ratio: f64,
+}
+
+/// Compares a measured serving run against the analytical model for the
+/// same `device`/`workload`/`n_samples`. The measurement side only needs
+/// a wall-clock (e.g. derived from a `ServeMetrics` snapshot:
+/// `requests_completed` samples over the driving loop's elapsed time), so
+/// the platform model stays decoupled from the serving engine.
+pub fn compare_measured(
+    device: &Device,
+    workload: &Workload,
+    n_samples: u64,
+    measured_seconds: f64,
+) -> ModelFit {
+    let modelled = crate::estimate(device, workload, n_samples);
+    ModelFit {
+        modelled_seconds: modelled.seconds,
+        measured_seconds,
+        ratio: if modelled.seconds > 0.0 {
+            measured_seconds / modelled.seconds
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +278,18 @@ mod tests {
         assert_eq!(small.pe_count(), 16);
         let ratio = large.sustained_macs_per_sec() / small.sustained_macs_per_sec();
         assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_fit_ratio_reads_measured_over_modelled() {
+        let device = arm_neon_baseline();
+        let workload = matmul_workload();
+        let modelled = crate::estimate(&device, &workload, 500);
+        let fit = compare_measured(&device, &workload, 500, modelled.seconds * 2.0);
+        assert!((fit.ratio - 2.0).abs() < 1e-9, "ratio {}", fit.ratio);
+        assert_eq!(fit.modelled_seconds, modelled.seconds);
+        let exact = compare_measured(&device, &workload, 500, modelled.seconds);
+        assert!((exact.ratio - 1.0).abs() < 1e-9);
     }
 
     #[test]

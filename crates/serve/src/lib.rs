@@ -1,0 +1,173 @@
+//! Batched, multi-threaded inference serving.
+//!
+//! The paper's Tool 4 exports trained ANNs for deployment; this crate is
+//! the deployment side (DESIGN.md §8): it loads
+//! [`neural::export::ExportedNetwork`] artifacts into immutable
+//! [`neural::plan::FrozenPlan`]s and serves predictions through a bounded
+//! submission queue drained by a pool of worker threads.
+//!
+//! * [`ModelRegistry`] — models keyed by name + version, loadable from a
+//!   [`datastore::Store`] collection, hot-swappable: publishing a new
+//!   version atomically replaces the plan while requests already in
+//!   flight finish on the plan they resolved at submit time (no request
+//!   ever observes a torn model).
+//! * [`Engine`] — bounded queue + workers. The queue applies explicit
+//!   backpressure: when full, [`Engine::submit`] returns
+//!   [`SubmitError::QueueFull`] immediately instead of blocking, and
+//!   [`Engine::submit_with_retry`] layers the same bounded
+//!   exponential-backoff idiom as `spectroai::recovery` on top.
+//! * micro-batching — each worker coalesces queued requests that resolved
+//!   to the same plan into one contiguous input block (bounded by
+//!   `max_batch` and a `max_linger` wait), so the dense/conv kernels run
+//!   back to back over one allocation. Per-sample arithmetic is
+//!   unchanged, so batched outputs are bit-identical to sequential
+//!   [`neural::Network::predict`].
+//! * [`ServeMetrics`] — atomic counters and a fixed-bucket latency
+//!   histogram (p50/p95/p99), snapshotted into a serializable
+//!   [`MetricsReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use neural::export::ExportedNetwork;
+//! use neural::spec::{LayerSpec, NetworkSpec};
+//! use neural::Activation;
+//! use serve::{Engine, ModelRegistry, Request, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = NetworkSpec::new(4).layer(LayerSpec::Dense {
+//!     units: 2,
+//!     activation: Activation::Softmax,
+//! });
+//! let mut net = spec.build(3)?;
+//! let exported = ExportedNetwork::from_network(spec, &net, "demo");
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.publish("demo", 1, &exported)?;
+//! let engine = Engine::start(registry, ServeConfig::default());
+//!
+//! let ticket = engine.submit(Request::new("demo", vec![0.1, 0.2, 0.3, 0.4]))?;
+//! let prediction = ticket.wait()?;
+//! assert_eq!(prediction.output, net.predict(&[0.1, 0.2, 0.3, 0.4]));
+//! engine.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod metrics;
+mod queue;
+mod registry;
+
+pub use engine::{Engine, Prediction, Request, RetryPolicy, ServeConfig, Ticket};
+pub use metrics::{MetricsReport, ServeMetrics};
+pub use registry::ModelRegistry;
+
+use std::fmt;
+
+use neural::NeuralError;
+
+/// Why a submission was not accepted. Submission errors are immediate —
+/// [`Engine::submit`] never blocks the caller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — explicit backpressure. Retry
+    /// later (or use [`Engine::submit_with_retry`]).
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The engine is shutting down and accepts no new work.
+    ShuttingDown,
+    /// No model with this name (and version, if one was requested) is
+    /// published.
+    UnknownModel {
+        /// The requested model name.
+        name: String,
+        /// The requested version, if any.
+        version: Option<u32>,
+    },
+    /// The request input does not match the resolved model's input shape.
+    ShapeMismatch {
+        /// Input length the model expects.
+        expected: usize,
+        /// Input length the request carried.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
+            SubmitError::UnknownModel { name, version } => match version {
+                Some(v) => write!(f, "unknown model {name} v{v}"),
+                None => write!(f, "unknown model {name}"),
+            },
+            SubmitError::ShapeMismatch { expected, actual } => {
+                write!(f, "input shape mismatch: model expects {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Error type for serving: registry operations and request completion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// No such model/version in the registry.
+    UnknownModel {
+        /// The requested model name.
+        name: String,
+        /// The requested version, if any.
+        version: Option<u32>,
+    },
+    /// The request sat past its deadline before a worker reached it.
+    DeadlineExceeded,
+    /// The engine shut down before the request was executed.
+    ShuttingDown,
+    /// Compiling or executing the model failed.
+    Neural(NeuralError),
+    /// Loading from a datastore failed.
+    Store(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel { name, version } => match version {
+                Some(v) => write!(f, "unknown model {name} v{v}"),
+                None => write!(f, "unknown model {name}"),
+            },
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "engine shut down before execution"),
+            ServeError::Neural(err) => write!(f, "model error: {err}"),
+            ServeError::Store(msg) => write!(f, "store error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Neural(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NeuralError> for ServeError {
+    fn from(err: NeuralError) -> Self {
+        ServeError::Neural(err)
+    }
+}

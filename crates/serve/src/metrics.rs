@@ -1,0 +1,275 @@
+//! Serving metrics: atomic counters + a fixed-bucket latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency buckets. Bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-microsecond
+/// latencies), so 40 buckets span up to ~12 days — far beyond any
+/// deadline.
+const BUCKETS: usize = 40;
+
+fn bucket_index(micros: u64) -> usize {
+    let idx = 63 - (micros | 1).leading_zeros() as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Upper bound (µs) of a bucket, reported as the conservative quantile
+/// estimate.
+fn bucket_upper_micros(index: usize) -> u64 {
+    (1u64 << (index + 1)) - 1
+}
+
+/// Live engine counters. All updates are single atomic operations — no
+/// lock sits on the request hot path. Snapshot with
+/// [`ServeMetrics::report`].
+#[derive(Debug)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+    batches: AtomicU64,
+    batched_samples: AtomicU64,
+    queue_high_water: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_samples: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_queue_depth(&self, depth: usize) {
+        self.queue_high_water
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, samples: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_samples
+            .fetch_add(samples as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        self.latency_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests accepted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected with queue-full backpressure.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed successfully.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots every counter into a serializable report.
+    pub fn report(&self) -> MetricsReport {
+        let buckets: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = (q * total as f64).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, &count) in buckets.iter().enumerate() {
+                seen += count;
+                if seen >= rank {
+                    return bucket_upper_micros(i);
+                }
+            }
+            bucket_upper_micros(BUCKETS - 1)
+        };
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_samples = self.batched_samples.load(Ordering::Relaxed);
+        MetricsReport {
+            requests_submitted: self.submitted.load(Ordering::Relaxed),
+            requests_rejected: self.rejected.load(Ordering::Relaxed),
+            requests_completed: completed,
+            requests_failed: self.failed.load(Ordering::Relaxed),
+            requests_timed_out: self.timed_out.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_samples as f64 / batches as f64
+            },
+            queue_depth_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            latency_mean_us: if completed == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+            latency_p50_us: quantile(0.50),
+            latency_p95_us: quantile(0.95),
+            latency_p99_us: quantile(0.99),
+            latency_max_us: self.latency_max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time, serializable snapshot of [`ServeMetrics`].
+///
+/// Percentiles are conservative upper bounds from the power-of-two bucket
+/// histogram (a p95 of `2047` means "95% of requests finished within
+/// 2047 µs").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Requests accepted into the queue.
+    pub requests_submitted: u64,
+    /// Requests rejected with [`crate::SubmitError::QueueFull`].
+    pub requests_rejected: u64,
+    /// Requests completed successfully.
+    pub requests_completed: u64,
+    /// Requests completed with an error.
+    pub requests_failed: u64,
+    /// Requests that sat past their deadline before execution.
+    pub requests_timed_out: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean samples per executed batch.
+    pub mean_batch_size: f64,
+    /// Highest queue depth observed.
+    pub queue_depth_high_water: u64,
+    /// Mean submit-to-completion latency (µs).
+    pub latency_mean_us: f64,
+    /// Median latency upper bound (µs).
+    pub latency_p50_us: u64,
+    /// 95th-percentile latency upper bound (µs).
+    pub latency_p95_us: u64,
+    /// 99th-percentile latency upper bound (µs).
+    pub latency_p99_us: u64,
+    /// Worst observed latency (µs).
+    pub latency_max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS - 1 {
+            assert!(bucket_upper_micros(i) < bucket_upper_micros(i + 1));
+        }
+    }
+
+    #[test]
+    fn report_orders_percentiles() {
+        let m = ServeMetrics::new();
+        for us in [10u64, 20, 50, 100, 400, 900, 2_000, 9_000, 40_000, 100_000] {
+            m.record_completed(Duration::from_micros(us));
+        }
+        let report = m.report();
+        assert_eq!(report.requests_completed, 10);
+        assert!(report.latency_p50_us <= report.latency_p95_us);
+        assert!(report.latency_p95_us <= report.latency_p99_us);
+        assert!(report.latency_p99_us >= 100_000 >> 1, "{report:?}");
+        assert_eq!(report.latency_max_us, 100_000);
+        assert!(report.latency_mean_us > 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let report = ServeMetrics::new().report();
+        assert_eq!(report.requests_completed, 0);
+        assert_eq!(report.latency_p50_us, 0);
+        assert_eq!(report.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_submitted();
+        m.record_submitted();
+        m.record_rejected();
+        m.record_failed();
+        m.record_timed_out();
+        m.record_batch(4);
+        m.record_batch(2);
+        m.record_queue_depth(7);
+        m.record_queue_depth(3);
+        let report = m.report();
+        assert_eq!(report.requests_submitted, 2);
+        assert_eq!(report.requests_rejected, 1);
+        assert_eq!(report.requests_failed, 1);
+        assert_eq!(report.requests_timed_out, 1);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.mean_batch_size, 3.0);
+        assert_eq!(report.queue_depth_high_water, 7);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let m = ServeMetrics::new();
+        m.record_completed(Duration::from_micros(42));
+        let json = serde_json::to_string(&m.report()).unwrap();
+        assert!(json.contains("latency_p95_us"));
+        let parsed: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, m.report());
+    }
+}

@@ -1,0 +1,262 @@
+//! Bounded submission queue with backpressure and batch-forming pops.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use neural::plan::FrozenPlan;
+use parking_lot::{Condvar, Mutex};
+
+use crate::engine::ResponseSlot;
+use crate::SubmitError;
+
+/// One queued prediction request. The plan `Arc` is resolved at submit
+/// time, so a hot-swap published after submission never affects this
+/// request — it drains on the model it was admitted under.
+pub(crate) struct PendingRequest {
+    pub plan: Arc<FrozenPlan>,
+    pub version: u32,
+    pub input: Vec<f32>,
+    pub enqueued: Instant,
+    pub deadline: Instant,
+    pub slot: Arc<ResponseSlot>,
+}
+
+struct QueueState {
+    requests: VecDeque<PendingRequest>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue. Producers never block: a full queue is an
+/// immediate [`SubmitError::QueueFull`]. Consumers block until work
+/// arrives or the queue closes, and pop *batches* of requests sharing one
+/// plan rather than single items.
+pub(crate) struct BoundedQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+    high_water: AtomicUsize,
+}
+
+impl BoundedQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                requests: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    /// Non-blocking push: backpressure instead of waiting.
+    pub fn try_push(&self, request: PendingRequest) -> Result<usize, SubmitError> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.requests.len() >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        state.requests.push_back(request);
+        let depth = state.requests.len();
+        drop(state);
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until at least one request is available (or the queue is
+    /// closed *and* drained — then returns `None`), then forms a batch:
+    /// the front request plus every queued request resolved to the same
+    /// plan, up to `max_batch`. If the batch is still short, waits up to
+    /// `linger` for stragglers to coalesce before dispatching.
+    ///
+    /// Requests for *other* plans keep their FIFO order.
+    pub fn pop_batch(&self, max_batch: usize, linger: Duration) -> Option<Vec<PendingRequest>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock();
+        loop {
+            if let Some(first) = state.requests.pop_front() {
+                let mut batch = Vec::with_capacity(max_batch);
+                let plan = Arc::clone(&first.plan);
+                batch.push(first);
+                extract_same_plan(&mut state.requests, &plan, &mut batch, max_batch);
+                if batch.len() < max_batch && !linger.is_zero() {
+                    let linger_until = Instant::now() + linger;
+                    while batch.len() < max_batch && !state.closed {
+                        let now = Instant::now();
+                        let Some(remaining) = linger_until.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+                            break;
+                        };
+                        let (next, timeout) = self.not_empty.wait_timeout(state, remaining);
+                        state = next;
+                        extract_same_plan(&mut state.requests, &plan, &mut batch, max_batch);
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                }
+                // A linger may have absorbed a wake-up meant for a sibling
+                // worker; if work remains, pass the signal on.
+                if !state.requests.is_empty() {
+                    self.not_empty.notify_one();
+                }
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what is left
+    /// and then see `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Removes and returns everything still queued (shutdown cleanup).
+    pub fn drain(&self) -> Vec<PendingRequest> {
+        self.state.lock().requests.drain(..).collect()
+    }
+
+    /// Highest depth the queue ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Moves queued requests sharing `plan` (by `Arc` identity) into `batch`,
+/// preserving the relative order of everything left behind.
+fn extract_same_plan(
+    requests: &mut VecDeque<PendingRequest>,
+    plan: &Arc<FrozenPlan>,
+    batch: &mut Vec<PendingRequest>,
+    max_batch: usize,
+) {
+    let mut i = 0;
+    while i < requests.len() && batch.len() < max_batch {
+        if Arc::ptr_eq(&requests[i].plan, plan) {
+            if let Some(request) = requests.remove(i) {
+                batch.push(request);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::spec::{LayerSpec, NetworkSpec};
+    use neural::Activation;
+
+    fn plan() -> Arc<FrozenPlan> {
+        let spec = NetworkSpec::new(2).layer(LayerSpec::Dense {
+            units: 1,
+            activation: Activation::Linear,
+        });
+        let net = spec.build(1).unwrap();
+        Arc::new(FrozenPlan::from_spec_weights("q", &spec, &net.export_weights()).unwrap())
+    }
+
+    fn request(plan: &Arc<FrozenPlan>) -> PendingRequest {
+        let now = Instant::now();
+        PendingRequest {
+            plan: Arc::clone(plan),
+            version: 1,
+            input: vec![0.0, 0.0],
+            enqueued: now,
+            deadline: now + Duration::from_secs(60),
+            slot: Arc::new(ResponseSlot::new()),
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_promptly_without_blocking() {
+        let queue = BoundedQueue::new(2);
+        let p = plan();
+        queue.try_push(request(&p)).unwrap();
+        queue.try_push(request(&p)).unwrap();
+        let started = Instant::now();
+        let err = queue.try_push(request(&p)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "backpressure must be immediate, took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(queue.high_water(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_and_drains_pops() {
+        let queue = BoundedQueue::new(4);
+        let p = plan();
+        queue.try_push(request(&p)).unwrap();
+        queue.close();
+        assert_eq!(
+            queue.try_push(request(&p)).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        let batch = queue.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(queue.pop_batch(8, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn pop_batch_coalesces_same_plan_only() {
+        let queue = BoundedQueue::new(8);
+        let a = plan();
+        let b = plan();
+        queue.try_push(request(&a)).unwrap();
+        queue.try_push(request(&b)).unwrap();
+        queue.try_push(request(&a)).unwrap();
+        queue.try_push(request(&a)).unwrap();
+        let batch = queue.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|r| Arc::ptr_eq(&r.plan, &a)));
+        let batch = queue.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(Arc::ptr_eq(&batch[0].plan, &b));
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch() {
+        let queue = BoundedQueue::new(8);
+        let p = plan();
+        for _ in 0..5 {
+            queue.try_push(request(&p)).unwrap();
+        }
+        assert_eq!(queue.pop_batch(2, Duration::ZERO).unwrap().len(), 2);
+        assert_eq!(queue.pop_batch(2, Duration::ZERO).unwrap().len(), 2);
+        assert_eq!(queue.pop_batch(2, Duration::ZERO).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn linger_collects_late_arrivals() {
+        let queue = Arc::new(BoundedQueue::new(8));
+        let p = plan();
+        queue.try_push(request(&p)).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                queue.try_push(request(&p)).unwrap();
+            })
+        };
+        let batch = queue.pop_batch(2, Duration::from_millis(500)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch.len(), 2, "linger should have absorbed the late request");
+    }
+}
