@@ -8,6 +8,8 @@
 //! This harness reruns that comparison on the MS task: equal training
 //! budget, then accuracy vs parameter count vs inference cost.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use bench::{banner, pct, pick, write_csv};

@@ -9,6 +9,8 @@
 //! 3. an interrupted training run resumed from a persisted checkpoint,
 //!    checked bit-identical against an uninterrupted run.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use bench::banner;

@@ -8,6 +8,8 @@
 //! simulated continuous spectrum which has no counterpart in the
 //! line-spectrum is caused by the utilized ignition gas").
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, write_csv};
 use chem::fragmentation::GasLibrary;
 use chem::Mixture;

@@ -9,6 +9,8 @@
 //!   (paper: 1.50 % SELU, 1.61 % ReLU vs 3.05–5.14 % for the rest);
 //! * SELU adds a small extra improvement over ReLU for the best nets.
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, pct, pick, write_csv};
 use chem::fragmentation::GasLibrary;
 use ms_sim::campaign::{run_calibration_campaign, run_evaluation_campaign, MS_TASK_SUBSTANCES};

@@ -10,6 +10,8 @@
 //!   monotonic improvement (the paper attributes the non-monotonicity to
 //!   the random selection of measurement series).
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, pct, pick, write_csv};
 use chem::fragmentation::GasLibrary;
 use ms_sim::campaign::{run_calibration_campaign, run_evaluation_campaign, MS_TASK_SUBSTANCES};

@@ -11,6 +11,8 @@
 //!   detected although no water was purposely dosed — air humidity and a
 //!   hidden O₂ sensitivity deficit push probability mass from O₂ to H₂O.
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, pct, pick, write_csv};
 use ms_sim::prototype::MmsPrototype;
 use spectroai::pipeline::ms::{ActivationChoice, MsPipeline, MsPipelineConfig};

@@ -8,6 +8,8 @@
 //! layer increased to 3.15%" on real measurement series — i.e. a
 //! sim-to-real degradation of more than an order of magnitude.
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, pct, pick};
 use ms_sim::prototype::MmsPrototype;
 use spectroai::pipeline::ms::{ActivationChoice, MsPipeline, MsPipelineConfig};

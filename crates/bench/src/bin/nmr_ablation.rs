@@ -11,6 +11,8 @@
 //!   proposition: how does CNN accuracy scale with the number of
 //!   synthetic training spectra?
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, pick, write_csv};
 use spectroai::pipeline::nmr::{NmrPipeline, NmrPipelineConfig};
 

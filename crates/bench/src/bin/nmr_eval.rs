@@ -10,6 +10,8 @@
 //!   standard deviation") with a prediction time around the CNN's
 //!   (paper: 1.05 ms).
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, pick, write_csv};
 use spectroai::pipeline::nmr::{ModelScore, NmrPipeline, NmrPipelineConfig};
 

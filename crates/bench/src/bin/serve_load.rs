@@ -13,6 +13,8 @@
 //! and `SPECTROAI_FULL=1` scales assert that the engine beats the
 //! sequential baseline.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -79,7 +81,7 @@ fn main() {
     );
 
     // Batched multi-worker serving of the same stream.
-    let engine = Engine::start(Arc::clone(&registry), config.clone());
+    let engine = Engine::start(Arc::clone(&registry), config.clone()).expect("start serve engine");
     let retry = RetryPolicy {
         max_attempts: 64,
         base_delay_ms: 1,

@@ -4,6 +4,8 @@
 //! activation) with the concrete output shapes and parameter counts our
 //! implementation produces on the paper's 397-point input.
 
+#![forbid(unsafe_code)]
+
 use bench::banner;
 use ms_sim::campaign::MS_TASK_SUBSTANCES;
 use ms_sim::instrument::default_axis;

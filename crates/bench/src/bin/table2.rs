@@ -7,6 +7,8 @@
 //! see DESIGN.md §2 for the hardware-substitution rationale. The paper's
 //! measured values are printed alongside for comparison.
 
+#![forbid(unsafe_code)]
+
 use bench::{banner, write_csv};
 use ms_sim::campaign::MS_TASK_SUBSTANCES;
 use platform::{estimate, Device, Workload};

@@ -5,6 +5,8 @@
 //! switch to paper-scale workloads when the environment variable
 //! `SPECTROAI_FULL=1` is set.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::path::PathBuf;
 

@@ -19,6 +19,8 @@
 //! `proc_macro` API (no `syn`/`quote`), since the build environment has
 //! no registry access.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What a parsed type looks like, reduced to what codegen needs.

@@ -86,10 +86,9 @@ pub fn select_best(
     criterion: QualityCriterion,
 ) -> Option<&EvaluationReport> {
     reports.iter().min_by(|a, b| {
-        criterion
-            .score(a)
-            .partial_cmp(&criterion.score(b))
-            .expect("finite scores")
+        // total_cmp orders finite scores identically to partial_cmp and
+        // stays panic-free if a score ever goes non-finite.
+        criterion.score(a).total_cmp(&criterion.score(b))
     })
 }
 

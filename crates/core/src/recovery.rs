@@ -116,7 +116,9 @@ impl StageRunner {
         stage: &str,
         mut body: impl FnMut() -> Result<T, PipelineError>,
     ) -> Result<T, PipelineError> {
-        for attempt in 1..=self.policy.max_attempts.max(1) {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
             let injected = self
                 .plan
                 .as_deref()
@@ -134,7 +136,7 @@ impl StageRunner {
                         attempt,
                         error: error.to_string(),
                     });
-                    if attempt == self.policy.max_attempts.max(1) {
+                    if attempt >= max_attempts {
                         return Err(PipelineError::Stage {
                             stage: stage.to_string(),
                             attempts: attempt,
@@ -145,10 +147,10 @@ impl StageRunner {
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
+                    attempt += 1;
                 }
             }
         }
-        unreachable!("retry loop always returns")
     }
 }
 

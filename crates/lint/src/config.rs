@@ -1,0 +1,236 @@
+//! `lint.toml` parsing: the lock-order table and the suppression baseline.
+//!
+//! The parser understands exactly the TOML subset the config needs —
+//! `[section]` and `[[array-of-tables]]` headers, `key = "string"`,
+//! `key = integer` and `key = ["array", "of", "strings"]` on one line,
+//! and `#` comments — so the crate stays free of external parser deps.
+
+use std::path::Path;
+
+/// One baselined finding: silenced deliberately, with a recorded reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule id the suppression applies to.
+    pub rule: String,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// Specific line, or `None` to suppress the rule for the whole file.
+    pub line: Option<usize>,
+    /// Why the finding is acceptable — required, so every baseline entry
+    /// documents its own justification.
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Declared lock acquisition order for the `lock-order` rule: locks
+    /// earlier in the list must be acquired before locks later in it.
+    pub lock_order: Vec<String>,
+    /// Baseline suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl LintConfig {
+    /// Loads and parses a `lint.toml`. A missing file is an empty config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Parses config text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut config = Self::default();
+        let mut section = Section::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                match header.trim() {
+                    "suppress" => {
+                        flush(&mut section, &mut config, lineno)?;
+                        section = Section::Suppress(PartialSuppression::default());
+                    }
+                    other => return Err(format!("line {lineno}: unknown table [[{other}]]")),
+                }
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                match header.trim() {
+                    "lock-order" => {
+                        flush(&mut section, &mut config, lineno)?;
+                        section = Section::LockOrder;
+                    }
+                    other => return Err(format!("line {lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match (&mut section, key) {
+                (Section::LockOrder, "order") => {
+                    config.lock_order = parse_string_array(value)
+                        .ok_or_else(|| format!("line {lineno}: order must be a string array"))?;
+                }
+                (Section::Suppress(partial), "rule") => {
+                    partial.rule = Some(parse_string(value).ok_or_else(|| {
+                        format!("line {lineno}: rule must be a quoted string")
+                    })?);
+                }
+                (Section::Suppress(partial), "path") => {
+                    partial.path = Some(parse_string(value).ok_or_else(|| {
+                        format!("line {lineno}: path must be a quoted string")
+                    })?);
+                }
+                (Section::Suppress(partial), "reason") => {
+                    partial.reason = Some(parse_string(value).ok_or_else(|| {
+                        format!("line {lineno}: reason must be a quoted string")
+                    })?);
+                }
+                (Section::Suppress(partial), "line") => {
+                    partial.line = Some(value.parse::<usize>().map_err(|_| {
+                        format!("line {lineno}: line must be an integer")
+                    })?);
+                }
+                (_, key) => {
+                    return Err(format!("line {lineno}: unexpected key `{key}` here"));
+                }
+            }
+        }
+        flush(&mut section, &mut config, text.lines().count() + 1)?;
+        Ok(config)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PartialSuppression {
+    rule: Option<String>,
+    path: Option<String>,
+    line: Option<usize>,
+    reason: Option<String>,
+}
+
+enum Section {
+    None,
+    LockOrder,
+    Suppress(PartialSuppression),
+}
+
+/// Completes a pending `[[suppress]]` table when the next section starts
+/// (or the file ends), enforcing that rule/path/reason are all present.
+fn flush(section: &mut Section, config: &mut LintConfig, lineno: usize) -> Result<(), String> {
+    if let Section::Suppress(partial) = std::mem::replace(section, Section::None) {
+        let err = |field: &str| {
+            format!("line {lineno}: [[suppress]] entry ending here is missing `{field}`")
+        };
+        config.suppressions.push(Suppression {
+            rule: partial.rule.ok_or_else(|| err("rule"))?,
+            path: partial.path.ok_or_else(|| err("path"))?,
+            line: partial.line,
+            reason: partial.reason.ok_or_else(|| err("reason"))?,
+        });
+    }
+    Ok(())
+}
+
+/// Drops a trailing `#` comment, honouring quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lock_order_and_suppressions() {
+        let text = r#"
+# project lint baseline
+[lock-order]
+order = ["models", "state", "result"]
+
+[[suppress]]
+rule = "no-float-eq"
+path = "crates/spectrum/src/stats.rs"
+line = 91
+reason = "exact-zero variance guard"
+
+[[suppress]]
+rule = "no-unwrap-in-lib"
+path = "crates/neural/src/optim.rs"  # whole file
+reason = "slot invariants"
+"#;
+        let config = LintConfig::parse(text).unwrap();
+        assert_eq!(config.lock_order, ["models", "state", "result"]);
+        assert_eq!(config.suppressions.len(), 2);
+        assert_eq!(config.suppressions[0].line, Some(91));
+        assert_eq!(config.suppressions[1].line, None);
+        assert_eq!(config.suppressions[1].reason, "slot invariants");
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let text = "[[suppress]]\nrule = \"x\"\npath = \"y\"\n";
+        let err = LintConfig::parse(text).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        assert!(LintConfig::parse("[nope]\n").is_err());
+        assert!(LintConfig::parse("[lock-order]\nbogus = 3\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_missing_config_is_default() {
+        assert_eq!(LintConfig::parse("").unwrap(), LintConfig::default());
+        let missing = LintConfig::load(Path::new("/nonexistent/lint.toml")).unwrap();
+        assert_eq!(missing, LintConfig::default());
+    }
+}

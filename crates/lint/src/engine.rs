@@ -1,0 +1,210 @@
+//! Workspace walking and rule running: files → findings → baselined report.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::LintConfig;
+use crate::findings::{Finding, Report, StaleSuppression};
+use crate::lexer;
+use crate::rules::{self, FileInput};
+
+/// Directory names never scanned: generated output, test trees (exempt
+/// from every rule), bench harnesses and fixture data.
+const SKIP_DIRS: &[&str] = &[
+    "target", "tests", "benches", "examples", "fixtures", ".git",
+];
+
+/// Lints every `.rs` file under `root/crates`, applying the baseline in
+/// `config`. Findings are sorted by path, line, rule; suppressions that
+/// match nothing are reported as stale.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn run(root: &Path, config: &LintConfig) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        collect_rs_files(&crates_dir, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        lint_one(root, file, config, &mut findings)?;
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule))
+    });
+    Ok(apply_baseline(findings, config, files.len()))
+}
+
+/// Lints one already-read source text (fixture tests drive this
+/// directly). `rel_path` must be workspace-relative with forward slashes.
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    config: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = lexer::lex(source);
+    let mask = lexer::test_mask(&tokens);
+    let (crate_name, is_compat) = crate_of(rel_path);
+    let input = FileInput {
+        path: rel_path,
+        crate_name: &crate_name,
+        is_crate_root: is_crate_root(rel_path),
+        is_compat,
+        tokens: &tokens,
+        test_mask: &mask,
+    };
+    rules::check_file(&input, config, out);
+}
+
+/// Splits raw findings into active vs. baselined and detects stale
+/// suppressions.
+pub fn apply_baseline(findings: Vec<Finding>, config: &LintConfig, files_scanned: usize) -> Report {
+    let mut used = vec![false; config.suppressions.len()];
+    let mut active = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in findings {
+        let matched = config.suppressions.iter().enumerate().find(|(_, s)| {
+            s.rule == finding.rule
+                && s.path == finding.path
+                && s.line.is_none_or(|l| l == finding.line)
+        });
+        match matched {
+            Some((idx, _)) => {
+                used[idx] = true;
+                suppressed += 1;
+            }
+            None => active.push(finding),
+        }
+    }
+    let stale_suppressions = config
+        .suppressions
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(s, _)| StaleSuppression {
+            rule: s.rule.clone(),
+            path: s.path.clone(),
+            line: s.line.unwrap_or(0),
+        })
+        .collect();
+    Report {
+        findings: active,
+        suppressed,
+        stale_suppressions,
+        files_scanned,
+    }
+}
+
+fn lint_one(
+    root: &Path,
+    file: &Path,
+    config: &LintConfig,
+    out: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let source = std::fs::read_to_string(file)?;
+    let rel = file
+        .strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    lint_source(&rel, &source, config, out);
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate directory name for a workspace-relative path, plus whether it
+/// lives under `crates/compat/`.
+fn crate_of(rel_path: &str) -> (String, bool) {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["crates", "compat", name, ..] => ((*name).to_string(), true),
+        ["crates", name, ..] => ((*name).to_string(), false),
+        _ => (String::new(), false),
+    }
+}
+
+/// True for `src/lib.rs`, `src/main.rs` and `src/bin/*.rs` within a crate.
+fn is_crate_root(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let within: &[&str] = match parts.as_slice() {
+        ["crates", "compat", _, rest @ ..] => rest,
+        ["crates", _, rest @ ..] => rest,
+        _ => return false,
+    };
+    matches!(within, ["src", "lib.rs" | "main.rs"] | ["src", "bin", _])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Suppression;
+    use crate::findings::Severity;
+
+    #[test]
+    fn crate_identification() {
+        assert_eq!(crate_of("crates/serve/src/engine.rs"), ("serve".into(), false));
+        assert_eq!(crate_of("crates/compat/rand/src/lib.rs"), ("rand".into(), true));
+        assert!(is_crate_root("crates/serve/src/lib.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/table1.rs"));
+        assert!(!is_crate_root("crates/serve/src/engine.rs"));
+        assert!(!is_crate_root("crates/neural/src/layers/mod.rs"));
+    }
+
+    #[test]
+    fn baseline_matches_by_rule_path_and_optional_line() {
+        let finding = |line: usize| Finding {
+            rule: "no-float-eq".into(),
+            severity: Severity::Warning,
+            path: "crates/x/src/lib.rs".into(),
+            line,
+            message: String::new(),
+        };
+        let config = LintConfig {
+            lock_order: Vec::new(),
+            suppressions: vec![
+                Suppression {
+                    rule: "no-float-eq".into(),
+                    path: "crates/x/src/lib.rs".into(),
+                    line: Some(3),
+                    reason: "r".into(),
+                },
+                Suppression {
+                    rule: "no-float-eq".into(),
+                    path: "crates/y/src/lib.rs".into(),
+                    line: None,
+                    reason: "r".into(),
+                },
+            ],
+        };
+        let report = apply_baseline(vec![finding(3), finding(9)], &config, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 9);
+        assert_eq!(report.suppressed, 1);
+        // The y-crate suppression matched nothing.
+        assert_eq!(report.stale_suppressions.len(), 1);
+        assert_eq!(report.stale_suppressions[0].path, "crates/y/src/lib.rs");
+    }
+}

@@ -1,0 +1,90 @@
+//! Finding and report types, serializable for `--json` output.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How severe a finding is. Severity is informational — `--deny` fails on
+/// any non-baselined finding regardless of severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Should be fixed, but commonly needs a deliberate judgement call
+    /// (e.g. an exact-zero float guard).
+    Warning,
+    /// Violates a project invariant (panic in serving code, unseeded RNG
+    /// in a deterministic simulator, lock-order inversion).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule identifier (e.g. `no-unwrap-in-lib`).
+    pub rule: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.path, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// The full result of a lint run, serializable for `--json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Active (non-baselined) findings, sorted by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// Findings matched and silenced by `lint.toml` suppressions.
+    pub suppressed: usize,
+    /// Suppressions in `lint.toml` that matched nothing — stale entries
+    /// that should be deleted (warned, never fails `--deny`).
+    pub stale_suppressions: Vec<StaleSuppression>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// A `lint.toml` suppression that matched no finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaleSuppression {
+    /// The suppressed rule.
+    pub rule: String,
+    /// The suppressed path.
+    pub path: String,
+    /// The suppressed line, or 0 for a whole-file suppression.
+    pub line: usize,
+}
+
+impl fmt::Display for StaleSuppression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "stale suppression: {} at {} matches nothing", self.rule, self.path)
+        } else {
+            write!(
+                f,
+                "stale suppression: {} at {}:{} matches nothing",
+                self.rule, self.path, self.line
+            )
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! A lightweight Rust lexer: just enough tokenization for rule matching.
+//!
+//! The lexer intentionally knows nothing about the grammar — it produces a
+//! flat stream of identifiers, literals and single-character punctuation
+//! with line numbers, skipping whitespace and comments (including doc
+//! comments, so code inside `///` examples is never flagged). String,
+//! raw-string, byte-string and char literals are opaque single tokens, so
+//! rule patterns can never fire on text inside a literal.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `SystemTime`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `0.5f32`).
+    Float,
+    /// String literal of any flavour (`".."`, `r#".."#`, `b".."`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// One punctuation character (`.`, `=`, `!`, `{`, ...).
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token's source text (for `Str`, the opening quote only — rule
+    /// matching never needs literal contents).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// True when this token is exactly the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Lexes `source` into a flat token stream. Never fails: unterminated
+/// literals simply swallow the rest of the file (good enough for lint
+/// matching — real compilation errors are rustc's job).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'r' if self.raw_string_ahead(1) => self.lex_raw_string(1),
+                b'b' if self.peek(1) == Some(b'"') => self.lex_string(1),
+                b'b' if self.peek(1) == Some(b'\'') => self.lex_char(1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    self.lex_raw_string(2)
+                }
+                b'"' => self.lex_string(0),
+                b'\'' => self.lex_quote(),
+                b if b.is_ascii_digit() => self.lex_number(),
+                b if is_ident_start(b) => self.lex_ident(),
+                _ => {
+                    self.push(TokenKind::Punct, self.pos, self.pos + 1);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize) {
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.tokens.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Is `r"` / `r#"`-style raw-string syntax at offset `ahead`?
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = self.pos + ahead;
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn lex_raw_string(&mut self, prefix: usize) {
+        let start = self.pos;
+        self.pos += prefix;
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let line = self.line;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b == b'"' && self.bytes[self.pos + 1..].iter().take(hashes).all(|&h| h == b'#')
+            {
+                self.pos += 1 + hashes;
+                break;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: String::from_utf8_lossy(&self.bytes[start..start + prefix + hashes + 1])
+                .into_owned(),
+            line,
+        });
+    }
+
+    fn lex_string(&mut self, prefix: usize) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += prefix + 1; // prefix + opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: String::from_utf8_lossy(&self.bytes[start..start + prefix + 1]).into_owned(),
+            line,
+        });
+    }
+
+    /// Disambiguates `'a` (lifetime/label) from `'a'` (char literal).
+    fn lex_quote(&mut self) {
+        let after = self.peek(1);
+        if let Some(b) = after {
+            if is_ident_start(b) && self.peek(2) != Some(b'\'') {
+                // Lifetime or label: 'ident not followed by closing quote.
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Lifetime, start, self.pos);
+                return;
+            }
+        }
+        self.lex_char(0);
+    }
+
+    fn lex_char(&mut self, prefix: usize) {
+        let start = self.pos;
+        self.pos += prefix + 1; // prefix + opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // unterminated; bail at the line end
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Char, start, self.pos.min(self.bytes.len()));
+    }
+
+    fn lex_number(&mut self) {
+        let start = self.pos;
+        let mut float = false;
+        if self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Int, start, self.pos);
+            return;
+        }
+        self.consume_digits();
+        // Fraction: `1.5` yes; `1..2`, `1.max()` and `pair.0` stay integral.
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            match self.peek(1) {
+                Some(b) if b.is_ascii_digit() => {
+                    float = true;
+                    self.pos += 1;
+                    self.consume_digits();
+                }
+                Some(b) if b == b'.' || is_ident_start(b) => {}
+                _ => {
+                    // Trailing-dot float like `1.`
+                    float = true;
+                    self.pos += 1;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            let mut j = self.pos + 1;
+            if matches!(self.bytes.get(j), Some(b'+' | b'-')) {
+                j += 1;
+            }
+            if self.bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                float = true;
+                self.pos = j;
+                self.consume_digits();
+            }
+        }
+        // Suffix (`u64`, `f32`, ...).
+        let suffix_start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let suffix = &self.bytes[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        let kind = if float { TokenKind::Float } else { TokenKind::Int };
+        self.push(kind, start, self.pos);
+    }
+
+    fn consume_digits(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.pos);
+    }
+}
+
+/// Marks every token that sits inside test-only code: a `#[cfg(test)]` /
+/// `#[test]`-attributed item (heuristic: any attribute containing the
+/// identifier `test`) and the braced item body that follows it.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let Some(close) = matching(tokens, i + 1, '[', ']') else {
+                break;
+            };
+            let is_test_attr = tokens[i..=close].iter().any(|t| t.is_ident("test"));
+            if !is_test_attr {
+                i = close + 1;
+                continue;
+            }
+            // Skip any further attributes on the same item.
+            let mut k = close + 1;
+            while k < tokens.len()
+                && tokens[k].is_punct('#')
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+            {
+                match matching(tokens, k + 1, '[', ']') {
+                    Some(c) => k = c + 1,
+                    None => break,
+                }
+            }
+            // The item body is the first top-level brace group before a `;`.
+            let mut b = k;
+            let mut depth = 0i32;
+            while b < tokens.len() {
+                if tokens[b].is_punct('{') {
+                    break;
+                }
+                if tokens[b].is_punct('(') || tokens[b].is_punct('[') {
+                    depth += 1;
+                } else if tokens[b].is_punct(')') || tokens[b].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[b].is_punct(';') && depth == 0 {
+                    break;
+                }
+                b += 1;
+            }
+            let end = if b < tokens.len() && tokens[b].is_punct('{') {
+                matching(tokens, b, '{', '}').unwrap_or(tokens.len() - 1)
+            } else {
+                b.min(tokens.len() - 1)
+            };
+            for m in &mut mask[i..=end] {
+                *m = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the punct matching `open` at `start` (which must hold `open`).
+fn matching(tokens: &[Token], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn numbers_classify_ints_and_floats() {
+        let toks = kinds("1 1.5 0.5f32 2e-3 1_000u64 0xff 1..2 x.0 1.max(2)");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "0.5f32", "2e-3"]);
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ints, ["1", "1_000u64", "0xff", "1", "2", "0", "1", "2"]);
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let toks = lex("// unwrap()\n/* panic! /* nested */ */ let s = \"unwrap()\"; r#\"panic!\"#");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap") || t.is_ident("panic")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let toks = lex("a\n/* x\ny */\nb \"s\ntr\" c");
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        let c = toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!((a.line, b.line, c.line), (1, 4, 5));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules_and_test_fns() {
+        let src = r#"
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+            }
+            #[test]
+            fn case() { z.unwrap(); }
+        "#;
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let flagged: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(flagged, [false, true, true]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked_too() {
+        let src = "#[cfg(all(test, feature = \"x\"))] mod t { a.unwrap(); } fn f() {}";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let unwrap_pos = toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(mask[unwrap_pos]);
+        let f_pos = toks.iter().position(|t| t.is_ident("f")).unwrap();
+        assert!(!mask[f_pos]);
+    }
+}

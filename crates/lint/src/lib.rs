@@ -1,0 +1,42 @@
+//! spectro-lint: workspace static analysis for project invariants.
+//!
+//! The paper's provenance-tracked synthetic datasets are only trustworthy
+//! if the simulators and trainers are bit-deterministic, and the serving
+//! and fault-tolerance layers only keep their promises if library code
+//! never panics and lock acquisition stays ordered. Clippy cannot see
+//! those project-specific invariants, so this crate implements them as a
+//! self-contained lint pass (DESIGN.md §9): a lightweight Rust lexer
+//! ([`lexer`]) plus a rule engine ([`rules`]) that walks every workspace
+//! `.rs` file and reports findings with file:line, rule id and severity,
+//! in human and JSON output.
+//!
+//! The five rules:
+//!
+//! * `no-unwrap-in-lib` — panic-freedom in `serve`, `neural`, `datastore`
+//!   and `core` non-test library code.
+//! * `no-wallclock-nondeterminism` — no wall-clock reads or unseeded RNGs
+//!   in `ms-sim`, `nmr-sim`, `neural` and `chemometrics`.
+//! * `no-float-eq` — no `==`/`!=` against float literals outside tests.
+//! * `forbid-unsafe-coverage` — every crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//! * `lock-order` — nested `Mutex`/`RwLock` acquisitions in `crates/serve`
+//!   must follow the order declared in `lint.toml`.
+//!
+//! Pre-existing findings are burned down deliberately through the
+//! checked-in baseline (`lint.toml`): every suppression names a rule, a
+//! path and a reason. `--deny` (the CI mode) fails on any non-baselined
+//! finding; suppressions that no longer match anything are reported as
+//! stale so the baseline can only shrink.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{LintConfig, Suppression};
+pub use engine::{apply_baseline, lint_source, run};
+pub use findings::{Finding, Report, Severity, StaleSuppression};

@@ -1,0 +1,120 @@
+//! spectro-lint CLI: `cargo run -p lint --release -- [--deny] [--json]`.
+//!
+//! Exit codes: 0 on success (or findings without `--deny`), 1 when
+//! `--deny` is set and non-baselined findings exist, 2 on usage/config/IO
+//! errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::{LintConfig, Report};
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        deny: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => options.deny = true,
+            "--json" => options.json = true,
+            "--root" => {
+                options.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root needs a path".to_string())?,
+                );
+            }
+            "--config" => {
+                options.config = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--config needs a path".to_string())?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "spectro-lint: workspace static analysis\n\n\
+                     USAGE: lint [--root PATH] [--config PATH] [--json] [--deny]\n\n\
+                     --root PATH    workspace root to scan (default: .)\n\
+                     --config PATH  lint.toml to use (default: <root>/lint.toml)\n\
+                     --json         machine-readable report on stdout\n\
+                     --deny         exit non-zero on any non-baselined finding (CI mode)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn print_human(report: &Report, deny: bool) {
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for stale in &report.stale_suppressions {
+        println!("lint.toml: warning: {stale}");
+    }
+    println!(
+        "spectro-lint: {} file(s) scanned, {} finding(s), {} baselined, {} stale suppression(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed,
+        report.stale_suppressions.len()
+    );
+    if deny && !report.findings.is_empty() {
+        println!("spectro-lint: failing (--deny): fix the findings or baseline them in lint.toml with a reason");
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("spectro-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = options
+        .config
+        .clone()
+        .unwrap_or_else(|| options.root.join("lint.toml"));
+    let config = match LintConfig::load(&config_path) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("spectro-lint: bad config {}: {message}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint::run(&options.root, &config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("spectro-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(error) => {
+                eprintln!("spectro-lint: serialization failed: {error}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print_human(&report, options.deny);
+    }
+    if options.deny && !report.findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

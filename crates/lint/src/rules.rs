@@ -1,0 +1,364 @@
+//! The five spectro-lint rules, implemented over the token stream.
+//!
+//! Every rule works on [`FileInput`]: the lexed tokens of one `.rs` file
+//! plus enough context (crate directory name, crate-root flag, test mask)
+//! to scope itself. Rules are deliberately lexical — no type information —
+//! so each one documents the heuristic it actually implements.
+
+use crate::config::LintConfig;
+use crate::findings::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+
+/// Crates whose non-test library code must be panic-free
+/// (`no-unwrap-in-lib`): the serving path, the model runtime, persistence
+/// and the orchestration core.
+pub const PANIC_FREE_CRATES: &[&str] = &["serve", "neural", "datastore", "core"];
+
+/// Crates that must stay bit-deterministic (`no-wallclock-nondeterminism`):
+/// the synthetic-spectra simulators and everything that trains or augments
+/// from seeded RNG streams.
+pub const DETERMINISTIC_CRATES: &[&str] = &["ms-sim", "nmr-sim", "neural", "chemometrics"];
+
+/// The crate whose lock acquisitions the `lock-order` rule checks.
+pub const LOCK_ORDER_CRATE: &str = "serve";
+
+/// One file prepared for rule matching.
+pub struct FileInput<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub path: &'a str,
+    /// Crate directory name under `crates/` (e.g. `serve`, `ms-sim`).
+    pub crate_name: &'a str,
+    /// True for `src/lib.rs`, `src/main.rs` and `src/bin/*.rs`.
+    pub is_crate_root: bool,
+    /// True for the in-workspace dependency stand-ins under
+    /// `crates/compat/` (exempt from style rules, still unsafe-checked).
+    pub is_compat: bool,
+    /// Lexed tokens.
+    pub tokens: &'a [Token],
+    /// Parallel to `tokens`: true inside `#[cfg(test)]` / `#[test]` code.
+    pub test_mask: &'a [bool],
+}
+
+impl FileInput<'_> {
+    fn finding(&self, rule: &str, severity: Severity, line: usize, message: String) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            severity,
+            path: self.path.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// Runs every rule over one file.
+pub fn check_file(file: &FileInput<'_>, config: &LintConfig, out: &mut Vec<Finding>) {
+    no_unwrap_in_lib(file, out);
+    no_wallclock_nondeterminism(file, out);
+    no_float_eq(file, out);
+    forbid_unsafe_coverage(file, out);
+    lock_order(file, config, out);
+}
+
+fn prev_is(tokens: &[Token], i: usize, c: char) -> bool {
+    i > 0 && tokens[i - 1].is_punct(c)
+}
+
+fn next_is(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(c))
+}
+
+/// `no-unwrap-in-lib`: forbids `.unwrap()`, `.expect(..)` and the panic
+/// macro family (`panic!`, `unreachable!`, `todo!`, `unimplemented!`) in
+/// the non-test library code of the panic-free crates. Test modules,
+/// `#[test]` functions, `tests/` trees and bench binaries are exempt.
+fn no_unwrap_in_lib(file: &FileInput<'_>, out: &mut Vec<Finding>) {
+    if !PANIC_FREE_CRATES.contains(&file.crate_name) || file.is_compat {
+        return;
+    }
+    for (i, token) in file.tokens.iter().enumerate() {
+        if file.test_mask[i] || token.kind != TokenKind::Ident {
+            continue;
+        }
+        let method_call = prev_is(file.tokens, i, '.') && next_is(file.tokens, i, '(');
+        let flagged = match token.text.as_str() {
+            "unwrap" | "expect" if method_call => Some(format!(
+                ".{}() panics on the error path; return a typed error instead",
+                token.text
+            )),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next_is(file.tokens, i, '!') =>
+            {
+                Some(format!(
+                    "{}! aborts the thread; library code must surface a typed error",
+                    token.text
+                ))
+            }
+            _ => None,
+        };
+        if let Some(message) = flagged {
+            out.push(file.finding("no-unwrap-in-lib", Severity::Error, token.line, message));
+        }
+    }
+}
+
+/// `no-wallclock-nondeterminism`: forbids wall-clock reads and unseeded
+/// RNG construction in the deterministic crates — `SystemTime::now`,
+/// `Instant::now`, `thread_rng`, `from_entropy`, `OsRng` and
+/// `rand::random` all make synthetic-data generation unrepeatable.
+fn no_wallclock_nondeterminism(file: &FileInput<'_>, out: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&file.crate_name) || file.is_compat {
+        return;
+    }
+    let tokens = file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if file.test_mask[i] || token.kind != TokenKind::Ident {
+            continue;
+        }
+        let path_call_to = |target: &str| {
+            tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|t| t.is_ident(target))
+        };
+        let message = match token.text.as_str() {
+            "SystemTime" | "Instant" if path_call_to("now") => Some(format!(
+                "{}::now() reads the wall clock; thread timestamps through the caller \
+                 so simulated data stays bit-reproducible",
+                token.text
+            )),
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => Some(format!(
+                "{} draws OS entropy; construct RNGs from an explicit seed \
+                 (e.g. ChaCha20Rng::seed_from_u64)",
+                token.text
+            )),
+            "rand" if path_call_to("random") => Some(
+                "rand::random() uses the thread RNG; derive values from a seeded stream".into(),
+            ),
+            _ => None,
+        };
+        if let Some(message) = message {
+            out.push(file.finding(
+                "no-wallclock-nondeterminism",
+                Severity::Error,
+                token.line,
+                message,
+            ));
+        }
+    }
+}
+
+/// `no-float-eq`: flags `==` / `!=` comparisons where either operand is a
+/// float literal, outside tests. Lexical heuristic: without type inference
+/// the rule cannot see `a == b` between two `f32` variables, but the
+/// literal form covers the overwhelming majority of real float-equality
+/// sites (`x == 0.0`, `rate != 1.0`, ...).
+fn no_float_eq(file: &FileInput<'_>, out: &mut Vec<Finding>) {
+    if file.is_compat || file.crate_name == "bench" {
+        return;
+    }
+    let tokens = file.tokens;
+    for i in 0..tokens.len().saturating_sub(1) {
+        if file.test_mask[i] {
+            continue;
+        }
+        let (op, op_len) = if tokens[i].is_punct('=') && tokens[i + 1].is_punct('=') {
+            // Reject `<=`, `>=`, `!=`'s tail, `==`'s tail and `=>`.
+            if i > 0
+                && (tokens[i - 1].is_punct('=')
+                    || tokens[i - 1].is_punct('!')
+                    || tokens[i - 1].is_punct('<')
+                    || tokens[i - 1].is_punct('>'))
+            {
+                continue;
+            }
+            ("==", 2)
+        } else if tokens[i].is_punct('!') && tokens[i + 1].is_punct('=') {
+            ("!=", 2)
+        } else {
+            continue;
+        };
+        let before = i.checked_sub(1).map(|j| &tokens[j]);
+        let mut after = tokens.get(i + op_len);
+        // Allow one unary minus: `x == -0.5`.
+        if after.is_some_and(|t| t.is_punct('-')) {
+            after = tokens.get(i + op_len + 1);
+        }
+        let float_operand = before.is_some_and(|t| t.kind == TokenKind::Float)
+            || after.is_some_and(|t| t.kind == TokenKind::Float);
+        if float_operand {
+            out.push(file.finding(
+                "no-float-eq",
+                Severity::Warning,
+                tokens[i].line,
+                format!(
+                    "`{op}` against a float literal; exact float equality is rarely meaningful — \
+                     compare with a tolerance or justify via the baseline"
+                ),
+            ));
+        }
+    }
+}
+
+/// `forbid-unsafe-coverage`: every crate root (`src/lib.rs`, `src/main.rs`,
+/// `src/bin/*.rs`) must carry `#![forbid(unsafe_code)]` so the guarantee
+/// holds workspace-wide rather than crate-by-crate.
+fn forbid_unsafe_coverage(file: &FileInput<'_>, out: &mut Vec<Finding>) {
+    if !file.is_crate_root {
+        return;
+    }
+    let tokens = file.tokens;
+    let has_attr = tokens.windows(6).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+    });
+    if !has_attr {
+        out.push(file.finding(
+            "forbid-unsafe-coverage",
+            Severity::Error,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}
+
+/// `lock-order`: flags nested lock acquisitions in `crates/serve` that
+/// invert the order declared in `lint.toml`'s `[lock-order]` table (and
+/// re-acquisitions of a lock already held, which self-deadlock under
+/// `parking_lot`).
+///
+/// Heuristic, intra-function only: an acquisition is `<recv>.lock()`,
+/// `.read()` or `.write()` whose receiver's final field name appears in
+/// the order table. A `let`-bound guard is considered held until its
+/// enclosing block closes or it is explicitly `drop(..)`ed; un-bound
+/// (temporary) guards live only for their own statement. Acquisitions
+/// reached through function calls are out of scope — keep lock use
+/// syntactically local, which is good style under this rule anyway.
+fn lock_order(file: &FileInput<'_>, config: &LintConfig, out: &mut Vec<Finding>) {
+    if file.crate_name != LOCK_ORDER_CRATE || config.lock_order.is_empty() {
+        return;
+    }
+    let rank_of = |name: &str| config.lock_order.iter().position(|l| l == name);
+    let tokens = file.tokens;
+
+    struct Held {
+        binding: String,
+        lock: String,
+        rank: usize,
+        depth: usize,
+        line: usize,
+    }
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+
+    for (i, token) in tokens.iter().enumerate() {
+        if token.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if token.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            held.retain(|h| h.depth <= depth);
+            continue;
+        }
+        if file.test_mask[i] {
+            continue;
+        }
+        // drop(guard) releases a held lock early.
+        if token.is_ident("drop")
+            && next_is(tokens, i, '(')
+            && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            let name = &tokens[i + 2].text;
+            held.retain(|h| &h.binding != name);
+            continue;
+        }
+        // Acquisition: field `.lock()` / `.read()` / `.write()`.
+        let is_acquire = matches!(token.text.as_str(), "lock" | "read" | "write")
+            && token.kind == TokenKind::Ident
+            && prev_is(tokens, i, '.')
+            && next_is(tokens, i, '(')
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'));
+        if !is_acquire {
+            continue;
+        }
+        let Some(field) = i.checked_sub(2).map(|j| &tokens[j]).filter(|t| t.kind == TokenKind::Ident)
+        else {
+            continue;
+        };
+        let Some(rank) = rank_of(&field.text) else {
+            continue;
+        };
+        for h in &held {
+            if h.lock == field.text {
+                out.push(file.finding(
+                    "lock-order",
+                    Severity::Error,
+                    token.line,
+                    format!(
+                        "re-acquiring `{}` while the guard from line {} is still held \
+                         (parking_lot locks are not reentrant)",
+                        field.text, h.line
+                    ),
+                ));
+            } else if h.rank > rank {
+                out.push(file.finding(
+                    "lock-order",
+                    Severity::Error,
+                    token.line,
+                    format!(
+                        "acquiring `{}` while holding `{}` inverts the declared order [{}]",
+                        field.text,
+                        h.lock,
+                        config.lock_order.join(" < ")
+                    ),
+                ));
+            }
+        }
+        if let Some(binding) = let_binding_for(tokens, i) {
+            held.push(Held {
+                binding,
+                lock: field.text.clone(),
+                rank,
+                depth,
+                line: token.line,
+            });
+        }
+    }
+}
+
+/// If the acquisition at `lock_idx` (`... field . lock ( )`) is the value
+/// of a `let` statement, returns the bound name: walks the receiver chain
+/// backwards and matches `let [mut] NAME =`.
+fn let_binding_for(tokens: &[Token], lock_idx: usize) -> Option<String> {
+    // Step back over the receiver chain: idents, `.` and `::`.
+    let mut j = lock_idx.checked_sub(2)?;
+    loop {
+        let t = &tokens[j];
+        let part_of_chain = t.kind == TokenKind::Ident || t.is_punct('.') || t.is_punct(':');
+        if !part_of_chain || j == 0 {
+            break;
+        }
+        j -= 1;
+    }
+    // Expect `= ` just after the statement head; `j` now sits on `=`.
+    if !tokens[j].is_punct('=') || (j > 0 && tokens[j - 1].is_punct('=')) {
+        return None;
+    }
+    let mut k = j.checked_sub(1)?;
+    let name = if tokens[k].kind == TokenKind::Ident && !tokens[k].is_ident("mut") {
+        let n = tokens[k].text.clone();
+        k = k.checked_sub(1)?;
+        n
+    } else {
+        return None;
+    };
+    if tokens[k].is_ident("mut") {
+        k = k.checked_sub(1)?;
+    }
+    tokens[k].is_ident("let").then_some(name)
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: exact float equality in library code.
+
+pub fn zero_guard(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn not_negative_half(y: f32) -> bool {
+    y != -0.5
+}

@@ -1,0 +1,13 @@
+//! Known-good fixture: tolerance comparisons and integer equality.
+
+pub fn close_to_half(x: f32) -> bool {
+    (x - 0.5).abs() < 1e-6
+}
+
+pub fn empty(n: usize) -> bool {
+    n == 0
+}
+
+pub fn ordered(a: f32) -> bool {
+    a >= 0.0 && a <= 1.0
+}

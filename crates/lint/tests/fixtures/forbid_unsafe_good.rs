@@ -1,0 +1,6 @@
+//! Known-good fixture: a crate root carrying the workspace-wide
+//! unsafe ban.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

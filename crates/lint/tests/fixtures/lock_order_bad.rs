@@ -1,0 +1,16 @@
+//! Known-bad fixture: lock acquisitions in `serve` that invert the
+//! declared order (`models < state < result`) or re-acquire a held lock.
+
+pub fn inverted(queue: &Queue, registry: &Registry) {
+    let guard = queue.state.lock();
+    let models = registry.models.read();
+    drop(models);
+    drop(guard);
+}
+
+pub fn reentrant(queue: &Queue) {
+    let first = queue.state.lock();
+    let second = queue.state.lock();
+    drop(second);
+    drop(first);
+}

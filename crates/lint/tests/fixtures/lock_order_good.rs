@@ -1,0 +1,18 @@
+//! Known-good fixture: acquisitions follow the declared order and
+//! early `drop()` releases a guard before the next acquisition.
+
+pub fn ordered(registry: &Registry, queue: &Queue, slot: &Slot) {
+    let models = registry.models.read();
+    let state = queue.state.lock();
+    drop(state);
+    drop(models);
+    let result = slot.result.lock();
+    drop(result);
+}
+
+pub fn sequential(queue: &Queue) {
+    let first = queue.state.lock();
+    drop(first);
+    let second = queue.state.lock();
+    drop(second);
+}

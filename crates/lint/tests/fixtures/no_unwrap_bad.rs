@@ -1,0 +1,14 @@
+//! Known-bad fixture: panics in the library code of a panic-free crate.
+
+pub fn parse(input: &str) -> usize {
+    let value: usize = input.parse().unwrap();
+    let rest = input.strip_prefix('x').expect("payload starts with x");
+    if rest.is_empty() {
+        panic!("empty payload");
+    }
+    value
+}
+
+pub fn unfinished() {
+    todo!()
+}

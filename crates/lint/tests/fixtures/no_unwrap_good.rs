@@ -1,0 +1,19 @@
+//! Known-good fixture: typed errors in lib code; panics confined to tests.
+
+pub fn parse(input: &str) -> Result<usize, String> {
+    input.parse().map_err(|e| format!("bad number: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse;
+
+    #[test]
+    fn parses() {
+        assert_eq!(parse("3").unwrap(), 3);
+        parse("x").unwrap_err();
+        if false {
+            panic!("test-only panic is exempt");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: wall-clock reads and OS-entropy RNG in a
+//! deterministic simulator crate.
+
+pub fn stamp() -> (std::time::SystemTime, std::time::Instant) {
+    let wall = std::time::SystemTime::now();
+    let mono = std::time::Instant::now();
+    (wall, mono)
+}
+
+pub fn noisy() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,10 @@
+//! Known-good fixture: explicit seeds and caller-provided timestamps.
+
+pub fn noisy(seed: u64) -> f64 {
+    let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(seed);
+    rng.gen()
+}
+
+pub fn stamped(timestamp_ms: u64, value: f64) -> (u64, f64) {
+    (timestamp_ms, value)
+}

@@ -1,0 +1,55 @@
+//! Finite-value sanitizer behind the `checked-math` feature.
+//!
+//! With the feature enabled, [`FiniteTracker`] `debug_assert!`s that no
+//! layer/op *introduces* NaN or infinity: a stage whose input was finite
+//! must produce finite output. It names the stage that broke, so NaN
+//! propagation is caught where it starts rather than three layers later
+//! in a loss that "just went flat". Stages fed already-non-finite data
+//! are not flagged — NaN-in → NaN-out is expected IEEE propagation, and
+//! it is exactly what [`crate::guard`]'s divergence rollback handles.
+//! Without the feature the tracker is a zero-sized no-op.
+
+/// Tracks finiteness across a forward pass and asserts that no stage
+/// turns finite data non-finite.
+#[cfg(feature = "checked-math")]
+pub struct FiniteTracker {
+    finite: bool,
+}
+
+#[cfg(feature = "checked-math")]
+impl FiniteTracker {
+    /// Starts a pass, recording whether the input itself is finite.
+    pub fn new(input: &[f32]) -> Self {
+        Self {
+            finite: input.iter().all(|v| v.is_finite()),
+        }
+    }
+
+    /// Checks one stage's output. `context` names the forward pass and
+    /// `index` the layer/op position within it.
+    pub fn check(&mut self, context: &str, index: usize, values: &[f32]) {
+        let now_finite = values.iter().all(|v| v.is_finite());
+        debug_assert!(
+            now_finite || !self.finite,
+            "checked-math: non-finite value introduced in {context} at layer/op {index}"
+        );
+        self.finite = now_finite;
+    }
+}
+
+/// Zero-sized no-op stub compiled without the `checked-math` feature.
+#[cfg(not(feature = "checked-math"))]
+pub struct FiniteTracker;
+
+#[cfg(not(feature = "checked-math"))]
+impl FiniteTracker {
+    /// No-op.
+    #[inline(always)]
+    pub fn new(_input: &[f32]) -> Self {
+        Self
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn check(&mut self, _context: &str, _index: usize, _values: &[f32]) {}
+}

@@ -59,11 +59,17 @@ impl Layer for MaxPool1d {
             for op in 0..self.out_len {
                 let start = c * self.in_len + op * self.stride;
                 let window = &input[start..start + self.pool];
-                let (k, &v) = window
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                    .expect("non-empty window");
+                // Panic-free tie-last max (same selection as
+                // `max_by(partial_cmp)` on finite values; non-finite
+                // entries are skipped instead of panicking).
+                let mut k = 0usize;
+                let mut v = f32::NEG_INFINITY;
+                for (j, &x) in window.iter().enumerate() {
+                    if x >= v {
+                        v = x;
+                        k = j;
+                    }
+                }
                 out[c * self.out_len + op] = v;
                 self.cached_argmax[c * self.out_len + op] = start + k;
             }

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+mod checked;
 pub mod export;
 pub mod guard;
 pub mod init;

@@ -98,8 +98,10 @@ impl Network {
     /// empty.
     pub fn forward(&mut self, input: &[f32], training: bool) -> Vec<f32> {
         let mut x = input.to_vec();
-        for layer in &mut self.layers {
+        let mut tracker = crate::checked::FiniteTracker::new(&x);
+        for (i, layer) in self.layers.iter_mut().enumerate() {
             x = layer.forward(&x, training);
+            tracker.check("Network::forward", i, &x);
         }
         x
     }

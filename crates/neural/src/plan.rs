@@ -273,12 +273,14 @@ impl PlanOp {
                     for op in 0..*out_len {
                         let start = c * in_len + op * stride;
                         let window = &input[start..start + pool];
-                        let v = *window
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                            .expect("non-empty window")
-                            .1;
+                        // Panic-free tie-last max, bit-identical to
+                        // `MaxPool1d::forward` on finite values.
+                        let mut v = f32::NEG_INFINITY;
+                        for &x in window {
+                            if x >= v {
+                                v = x;
+                            }
+                        }
                         out[c * out_len + op] = v;
                     }
                 }
@@ -770,8 +772,10 @@ impl FrozenPlan {
             });
         }
         let mut x = input.to_vec();
-        for op in &self.ops {
+        let mut tracker = crate::checked::FiniteTracker::new(&x);
+        for (i, op) in self.ops.iter().enumerate() {
             x = op.apply(&x);
+            tracker.check("FrozenPlan::predict", i, &x);
         }
         Ok(x)
     }
@@ -804,8 +808,10 @@ impl FrozenPlan {
         outputs.reserve(batch * self.output_len);
         for sample in inputs.chunks_exact(self.input_len) {
             let mut x = sample.to_vec();
-            for op in &self.ops {
+            let mut tracker = crate::checked::FiniteTracker::new(&x);
+            for (i, op) in self.ops.iter().enumerate() {
                 x = op.apply(&x);
+                tracker.check("FrozenPlan::predict_batch", i, &x);
             }
             outputs.extend_from_slice(&x);
         }

@@ -1,0 +1,110 @@
+//! `checked-math` feature tests: the finite-value sanitizer must fire
+//! (in debug builds) as soon as a layer emits NaN, and must stay silent
+//! on healthy networks.
+//!
+//! Run with `cargo test -p neural --features checked-math`.
+
+#![cfg(feature = "checked-math")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use neural::plan::FrozenPlan;
+use neural::spec::{LayerSpec, NetworkSpec};
+use neural::Activation;
+
+fn spec() -> NetworkSpec {
+    NetworkSpec::new(4)
+        .layer(LayerSpec::Dense {
+            units: 3,
+            activation: Activation::Relu,
+        })
+        .layer(LayerSpec::Dense {
+            units: 2,
+            activation: Activation::Linear,
+        })
+}
+
+#[test]
+fn healthy_network_passes_the_sanitizer() {
+    let spec = spec();
+    let mut net = spec.build(7).unwrap();
+    let out = net.predict(&[0.1, 0.2, 0.3, 0.4]);
+    assert_eq!(out.len(), 2);
+    assert!(out.iter().all(|v| v.is_finite()));
+
+    let plan = FrozenPlan::from_spec_weights("ok", &spec, &net.export_weights()).unwrap();
+    assert!(plan.predict(&[0.1, 0.2, 0.3, 0.4]).unwrap()[0].is_finite());
+}
+
+#[test]
+fn nan_input_propagates_without_panicking() {
+    // NaN-in → NaN-out is expected IEEE propagation (the training guard
+    // relies on it for divergence rollback); only *introducing* NaN from
+    // finite data is a bug.
+    let spec = spec();
+    let mut net = spec.build(7).unwrap();
+    let out = net.predict(&[f32::NAN, 1.0, 1.0, 1.0]);
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn nan_weights_trip_the_sanitizer_in_predict() {
+    let spec = spec();
+    let net = spec.build(7).unwrap();
+    let mut weights = net.export_weights();
+    // Poison the first dense kernel: any input now produces NaN at op 0.
+    weights[0][0][0] = f32::NAN;
+    let plan = FrozenPlan::from_spec_weights("bad", &spec, &weights).unwrap();
+
+    let panic = catch_unwind(AssertUnwindSafe(|| {
+        let _ = plan.predict(&[1.0, 1.0, 1.0, 1.0]);
+    }))
+    .expect_err("checked-math should panic on NaN output");
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("checked-math") && msg.contains("FrozenPlan::predict"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+#[test]
+fn nan_weights_trip_the_sanitizer_in_predict_batch() {
+    let spec = spec();
+    let net = spec.build(7).unwrap();
+    let mut weights = net.export_weights();
+    weights[0][0][0] = f32::NAN;
+    let plan = FrozenPlan::from_spec_weights("bad", &spec, &weights).unwrap();
+
+    let panic = catch_unwind(AssertUnwindSafe(|| {
+        let mut out = Vec::new();
+        let _ = plan.predict_batch(&[1.0; 8], &mut out);
+    }))
+    .expect_err("checked-math should panic on NaN output");
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("FrozenPlan::predict_batch"), "unexpected panic message: {msg}");
+}
+
+#[test]
+fn nan_weights_trip_the_sanitizer_in_network_forward() {
+    let spec = spec();
+    let mut net = spec.build(7).unwrap();
+    let mut weights = net.export_weights();
+    weights[0][0][0] = f32::NAN;
+    net.import_weights(&weights).unwrap();
+
+    let panic = catch_unwind(AssertUnwindSafe(|| {
+        let _ = net.predict(&[1.0, 1.0, 1.0, 1.0]);
+    }))
+    .expect_err("checked-math should panic on NaN output");
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("Network::forward"), "unexpected panic message: {msg}");
+}

@@ -197,28 +197,42 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Starts the worker pool over `registry`.
-    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerSpawn`] if the OS refuses a worker
+    /// thread; workers already started are joined before returning, so a
+    /// failed start leaks nothing.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Self, ServeError> {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
         let metrics = Arc::new(ServeMetrics::new());
-        let workers = (0..config.workers)
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(&metrics);
-                let max_batch = config.max_batch.max(1);
-                let linger = config.max_linger;
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &metrics, max_batch, linger))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Self {
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let queue_for_worker = Arc::clone(&queue);
+            let metrics_for_worker = Arc::clone(&metrics);
+            let max_batch = config.max_batch.max(1);
+            let linger = config.max_linger;
+            let spawned = std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&queue_for_worker, &metrics_for_worker, max_batch, linger));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(err) => {
+                    queue.close();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(ServeError::WorkerSpawn(format!("serve-worker-{i}: {err}")));
+                }
+            }
+        }
+        Ok(Self {
             registry,
             queue,
             metrics,
             workers,
             config,
-        }
+        })
     }
 
     /// The registry this engine resolves models from.
@@ -294,22 +308,23 @@ impl Engine {
         policy: RetryPolicy,
     ) -> Result<Ticket, SubmitError> {
         let attempts = policy.max_attempts.max(1);
-        for attempt in 1..=attempts {
+        let mut attempt = 1;
+        loop {
             match self.submit(request.clone()) {
                 Ok(ticket) => return Ok(ticket),
                 Err(SubmitError::QueueFull { capacity }) => {
-                    if attempt == attempts {
+                    if attempt >= attempts {
                         return Err(SubmitError::QueueFull { capacity });
                     }
                     let delay = policy.delay(attempt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
+                    attempt += 1;
                 }
                 Err(other) => return Err(other),
             }
         }
-        unreachable!("retry loop always returns")
     }
 
     /// Current queue-depth high-water mark.
@@ -449,7 +464,8 @@ mod tests {
                 max_linger: Duration::from_millis(2),
                 ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let inputs: Vec<Vec<f32>> = (0..40)
             .map(|s| (0..64).map(|i| (((s * 64 + i) as f32) * 0.13).sin()).collect())
             .collect();
@@ -483,7 +499,8 @@ mod tests {
                 queue_capacity: 3,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let x = vec![0.5f32; 64];
         for _ in 0..3 {
             engine.submit(Request::new("ms", x.clone())).unwrap();
@@ -513,7 +530,8 @@ mod tests {
                 queue_capacity: 1,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let x = vec![0.0f32; 64];
         engine.submit(Request::new("ms", x.clone())).unwrap();
         let started = Instant::now();
@@ -536,7 +554,7 @@ mod tests {
     #[test]
     fn unknown_model_and_bad_shape_fail_fast() {
         let (registry, _) = registry_with("ms", 1);
-        let engine = Engine::start(registry, ServeConfig::default());
+        let engine = Engine::start(registry, ServeConfig::default()).unwrap();
         assert!(matches!(
             engine.submit(Request::new("nope", vec![0.0; 64])),
             Err(SubmitError::UnknownModel { .. })
@@ -562,7 +580,8 @@ mod tests {
                 workers: 0,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let ticket = engine
             .submit(Request::new("ms", vec![0.0; 64]).with_deadline(Duration::from_millis(1)))
             .unwrap();
@@ -586,7 +605,8 @@ mod tests {
                 max_linger: Duration::from_millis(40),
                 ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         // First request opens a lingering batch window longer than the
         // second's deadline; the second expires inside it.
         let _warm = engine.submit(Request::new("ms", vec![0.0; 64])).unwrap();
@@ -618,7 +638,8 @@ mod tests {
                 queue_capacity: 4096,
                 ..ServeConfig::default()
             },
-        ));
+        )
+        .unwrap());
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let swapper = {
             let registry = Arc::clone(&registry);
@@ -663,7 +684,8 @@ mod tests {
                 workers: 0,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let ticket = engine.submit(Request::new("ms", vec![0.0; 64])).unwrap();
         engine.shutdown();
         assert_eq!(ticket.wait(), Err(ServeError::ShuttingDown));

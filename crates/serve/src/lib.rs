@@ -45,7 +45,7 @@
 //!
 //! let registry = Arc::new(ModelRegistry::new());
 //! registry.publish("demo", 1, &exported)?;
-//! let engine = Engine::start(registry, ServeConfig::default());
+//! let engine = Engine::start(registry, ServeConfig::default())?;
 //!
 //! let ticket = engine.submit(Request::new("demo", vec![0.1, 0.2, 0.3, 0.4]))?;
 //! let prediction = ticket.wait()?;
@@ -140,6 +140,8 @@ pub enum ServeError {
     Neural(NeuralError),
     /// Loading from a datastore failed.
     Store(String),
+    /// The OS refused to spawn a worker thread at engine start.
+    WorkerSpawn(String),
 }
 
 impl fmt::Display for ServeError {
@@ -153,6 +155,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "engine shut down before execution"),
             ServeError::Neural(err) => write!(f, "model error: {err}"),
             ServeError::Store(msg) => write!(f, "store error: {msg}"),
+            ServeError::WorkerSpawn(msg) => write!(f, "failed to spawn worker: {msg}"),
         }
     }
 }
