@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use bench::{banner, pct, pick, write_csv};
+use bench::{TraceSession, banner, pct, pick, write_csv};
 use chem::fragmentation::GasLibrary;
 use ms_sim::campaign::{run_calibration_campaign, MS_TASK_SUBSTANCES};
 use ms_sim::characterize::Characterizer;
@@ -93,6 +93,7 @@ fn main() {
         "Architecture exploration — MLP vs Highway vs ResNet vs CNN",
         "Fricke et al. 2021, §III.A.2 preliminary study",
     );
+    let _trace = TraceSession::from_args();
     let training_spectra = pick(2_000, 12_000);
     let epochs = pick(8, 16);
     let seed = 42u64;

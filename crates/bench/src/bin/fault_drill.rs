@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use bench::banner;
+use bench::{banner, TraceSession};
 use faultsim::FaultPlan;
 use ms_sim::prototype::MmsPrototype;
 use neural::guard::{Checkpoint, GuardConfig, GuardedTrainer};
@@ -30,6 +30,7 @@ fn main() {
         "Fault-tolerance drill — guarded pipeline, torn writes, resume",
         "Fricke et al. 2021, §III.A (robustness hardening)",
     );
+    let _trace = TraceSession::from_args();
     guarded_pipeline_drill();
     torn_write_drill();
     resume_drill();

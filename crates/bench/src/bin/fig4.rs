@@ -10,7 +10,7 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, write_csv};
+use bench::{TraceSession, banner, write_csv};
 use chem::fragmentation::GasLibrary;
 use chem::Mixture;
 use ms_sim::ideal::IdealSpectrumGenerator;
@@ -19,6 +19,7 @@ use ms_sim::simulate::TrainingSimulator;
 
 fn main() {
     banner("Figure 4 — ideal vs simulated spectrum", "Fricke et al. 2021, Fig. 4");
+    let _trace = TraceSession::from_args();
 
     // One specific mixture, as in the paper's figure.
     let mixture = Mixture::from_fractions(vec![

@@ -11,7 +11,7 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, pct, pick, write_csv};
+use bench::{TraceSession, banner, pct, pick, write_csv};
 use chem::fragmentation::GasLibrary;
 use ms_sim::campaign::{run_calibration_campaign, run_evaluation_campaign, MS_TASK_SUBSTANCES};
 use ms_sim::characterize::Characterizer;
@@ -27,6 +27,7 @@ use spectroai::pipeline::ms::{evaluate_on, ActivationChoice, MsPipeline};
 
 fn main() {
     banner("Figure 5 — activation-function study", "Fricke et al. 2021, Fig. 5");
+    let _trace = TraceSession::from_args();
     let calibration_samples = pick(25, 200);
     let training_spectra = pick(3_000, 12_000);
     // Paper methodology: each variant trains until it meets the

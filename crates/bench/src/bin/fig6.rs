@@ -12,7 +12,7 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, pct, pick, write_csv};
+use bench::{TraceSession, banner, pct, pick, write_csv};
 use chem::fragmentation::GasLibrary;
 use ms_sim::campaign::{run_calibration_campaign, run_evaluation_campaign, MS_TASK_SUBSTANCES};
 use ms_sim::characterize::Characterizer;
@@ -31,6 +31,7 @@ fn main() {
         "Figure 6 — simulator sample-count study",
         "Fricke et al. 2021, Fig. 6",
     );
+    let _trace = TraceSession::from_args();
     let sample_counts: &[usize] = &[10, 25, 50, 75, 100, 150];
     let training_spectra = pick(3_000, 12_000);
     let epochs = pick(16, 30);

@@ -13,12 +13,13 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, pct, pick, write_csv};
+use bench::{TraceSession, banner, pct, pick, write_csv};
 use ms_sim::prototype::MmsPrototype;
 use spectroai::pipeline::ms::{ActivationChoice, MsPipeline, MsPipelineConfig};
 
 fn main() {
     banner("Figure 7 — final network, per-compound errors", "Fricke et al. 2021, Fig. 7");
+    let _trace = TraceSession::from_args();
     let config = MsPipelineConfig {
         activations: ActivationChoice::paper_best(),
         calibration_samples_per_mixture: pick(50, 200),

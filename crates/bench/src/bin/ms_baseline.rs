@@ -10,7 +10,7 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, pct, pick};
+use bench::{TraceSession, banner, pct, pick};
 use ms_sim::prototype::MmsPrototype;
 use spectroai::pipeline::ms::{ActivationChoice, MsPipeline, MsPipelineConfig};
 
@@ -19,6 +19,7 @@ fn main() {
         "MS baseline — initial linear-output network",
         "Fricke et al. 2021, §III.A.2 prose",
     );
+    let _trace = TraceSession::from_args();
     let config = MsPipelineConfig {
         activations: ActivationChoice::paper_initial(),
         calibration_samples_per_mixture: pick(25, 200),

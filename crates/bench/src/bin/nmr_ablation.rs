@@ -13,11 +13,12 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, pick, write_csv};
+use bench::{TraceSession, banner, pick, write_csv};
 use spectroai::pipeline::nmr::{NmrPipeline, NmrPipelineConfig};
 
 fn main() {
     banner("NMR ablations — epochs and augmentation size", "Fricke et al. 2021, §III.B");
+    let _trace = TraceSession::from_args();
 
     // A1: epoch sweep at fixed augmentation size.
     let epoch_grid: Vec<usize> = if bench::full_scale() {

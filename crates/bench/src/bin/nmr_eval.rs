@@ -12,11 +12,12 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, pick, write_csv};
+use bench::{TraceSession, banner, pick, write_csv};
 use spectroai::pipeline::nmr::{ModelScore, NmrPipeline, NmrPipelineConfig};
 
 fn main() {
     banner("NMR evaluation — IHM vs CNN vs LSTM", "Fricke et al. 2021, §III.B.3");
+    let _trace = TraceSession::from_args();
     let config = NmrPipelineConfig {
         augmented_spectra: pick(4_000, 30_000),
         cnn_epochs: pick(25, 50),

@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::{banner, pick, write_csv};
+use bench::{banner, pick, write_csv, TraceSession};
 use datastore::Store;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -80,6 +80,16 @@ fn main() {
         "sequential: {n_requests} predictions in {sequential_seconds:.3}s ({sequential_rps:.0} req/s)"
     );
 
+    // Trace-overhead gate: with no collector installed, a span-wrapped
+    // predict must stay within 5% of the bare call — the disabled fast
+    // path is one relaxed atomic load. Runs before any `--trace`
+    // collector is installed.
+    overhead_gate(&mut network, &inputs);
+
+    // `--trace <out.json>`: collect a chrome-trace profile of the serving
+    // run (spans + queue-depth gauge from the engine's obs hooks).
+    let trace = TraceSession::from_args();
+
     // Batched multi-worker serving of the same stream.
     let engine = Engine::start(Arc::clone(&registry), config.clone()).expect("start serve engine");
     let retry = RetryPolicy {
@@ -110,6 +120,9 @@ fn main() {
     let report = engine.metrics().report();
     let high_water = engine.queue_high_water();
     engine.shutdown();
+    if let Some(trace_path) = trace.finish() {
+        validate_trace(&trace_path);
+    }
 
     assert_eq!(
         mismatches, 0,
@@ -197,4 +210,82 @@ fn main() {
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Asserts that span-wrapped `Network::predict` with no collector
+/// installed stays within 5% of the bare call (best of several
+/// interleaved passes, so scheduler noise hits both sides equally).
+fn overhead_gate(network: &mut neural::Network, inputs: &[Vec<f32>]) {
+    let sample = &inputs[..inputs.len().min(64)];
+    let mut plain_best = f64::INFINITY;
+    let mut spanned_best = f64::INFINITY;
+    for _ in 0..7 {
+        let started = Instant::now();
+        for x in sample {
+            std::hint::black_box(network.predict(x));
+        }
+        plain_best = plain_best.min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        for x in sample {
+            let _span = obs::span!("bench.predict");
+            std::hint::black_box(network.predict(x));
+        }
+        spanned_best = spanned_best.min(started.elapsed().as_secs_f64());
+    }
+    let ratio = spanned_best / plain_best;
+    println!(
+        "overhead:   disabled-span predict {:.3}ms vs bare {:.3}ms over {} inputs (ratio {ratio:.4})",
+        spanned_best * 1e3,
+        plain_best * 1e3,
+        sample.len()
+    );
+    assert!(
+        ratio <= 1.05,
+        "disabled-path span overhead must stay within 5% of the bare predict \
+         (got {ratio:.4}; spanned {spanned_best:.6}s vs plain {plain_best:.6}s)"
+    );
+}
+
+/// Parses the written chrome-trace JSON and asserts the serving spans
+/// landed with correct nesting: at least one `serve.request` inside a
+/// `serve.batch` on the same worker thread.
+fn validate_trace(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).expect("read trace file");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("trace must be valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let spans = |name: &str| -> Vec<(i64, f64, f64)> {
+        events
+            .iter()
+            .filter(|e| e["ph"] == "X" && e["name"] == name)
+            .map(|e| {
+                (
+                    e["tid"].as_i64().expect("tid"),
+                    e["ts"].as_f64().expect("ts"),
+                    e["dur"].as_f64().expect("dur"),
+                )
+            })
+            .collect()
+    };
+    let batches = spans("serve.batch");
+    let requests = spans("serve.request");
+    assert!(!batches.is_empty(), "trace must contain serve.batch spans");
+    assert!(
+        !requests.is_empty(),
+        "trace must contain serve.request spans"
+    );
+    let nested = requests.iter().any(|&(tid, ts, dur)| {
+        batches
+            .iter()
+            .any(|&(btid, bts, bdur)| btid == tid && bts <= ts && ts + dur <= bts + bdur + 1e-6)
+    });
+    assert!(
+        nested,
+        "at least one serve.request span must nest inside a serve.batch span"
+    );
+    println!(
+        "trace:      {} events ({} serve.batch, {} serve.request, nesting verified)",
+        events.len(),
+        batches.len(),
+        requests.len()
+    );
 }

@@ -6,13 +6,14 @@
 
 #![forbid(unsafe_code)]
 
-use bench::banner;
+use bench::{banner, TraceSession};
 use ms_sim::campaign::MS_TASK_SUBSTANCES;
 use ms_sim::instrument::default_axis;
 use spectroai::pipeline::ms::{ActivationChoice, MsPipeline};
 
 fn main() {
     banner("Table 1 — MS network topology", "Fricke et al. 2021, Table 1");
+    let _trace = TraceSession::from_args();
     let axis = default_axis();
     println!(
         "input: measured spectrum, m/z {}..{} step {} -> {} points\n",

@@ -9,7 +9,7 @@
 
 #![forbid(unsafe_code)]
 
-use bench::{banner, write_csv};
+use bench::{TraceSession, banner, write_csv};
 use ms_sim::campaign::MS_TASK_SUBSTANCES;
 use platform::{estimate, Device, Workload};
 use spectroai::pipeline::ms::{ActivationChoice, MsPipeline};
@@ -24,6 +24,7 @@ const PAPER: [(&str, f64, f64, f64); 4] = [
 
 fn main() {
     banner("Table 2 — embedded execution study", "Fricke et al. 2021, Table 2");
+    let _trace = TraceSession::from_args();
     let samples = 21_600u64;
     let network = MsPipeline::table1_spec(397, MS_TASK_SUBSTANCES.len(), ActivationChoice::paper_best())
         .build(0)

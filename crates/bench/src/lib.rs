@@ -66,6 +66,88 @@ pub fn pct(fraction: f64) -> String {
     format!("{:.2}%", fraction * 100.0)
 }
 
+/// `--trace <out.json>` support for harness binaries: installs an
+/// `obs::Collector` for the run and writes a chrome-trace JSON profile
+/// (loadable in `about://tracing` / Perfetto) on [`TraceSession::finish`].
+///
+/// Constructed from CLI args; when `--trace` is absent nothing is
+/// installed and instrumented code stays on the disabled fast path.
+#[derive(Debug, Default)]
+pub struct TraceSession {
+    active: Option<(PathBuf, obs::InstallGuard)>,
+}
+
+impl TraceSession {
+    /// Journal capacity for harness traces — sized for full-scale runs
+    /// (20k requests → ~40k span/gauge records) with headroom.
+    const JOURNAL_CAPACITY: usize = 1 << 18;
+
+    /// Parses `--trace <path>` out of the process arguments and, when
+    /// present, installs a collector for the rest of the run.
+    pub fn from_args() -> Self {
+        let mut args = std::env::args();
+        while let Some(arg) = args.next() {
+            if arg == "--trace" {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace requires an output path; tracing disabled");
+                    return Self::default();
+                };
+                let guard = obs::install(
+                    obs::Collector::new().with_journal_capacity(Self::JOURNAL_CAPACITY),
+                );
+                println!("tracing:    chrome-trace profile -> {path}");
+                return Self {
+                    active: Some((PathBuf::from(path), guard)),
+                };
+            }
+        }
+        Self::default()
+    }
+
+    /// Whether a trace is being collected.
+    pub fn is_tracing(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Writes the chrome-trace JSON (if tracing) and uninstalls the
+    /// collector. Returns the output path when a profile was written.
+    ///
+    /// Binaries that don't need the path can rely on `Drop`, which does
+    /// the same thing (minus the panic on I/O failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (harness binaries want loud failures).
+    pub fn finish(mut self) -> Option<PathBuf> {
+        self.active.take().map(|(path, guard)| {
+            write_profile(&path, &guard).expect("write chrome trace");
+            path
+        })
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if let Some((path, guard)) = self.active.take() {
+            if let Err(err) = write_profile(&path, &guard) {
+                eprintln!("trace: failed to write {}: {err}", path.display());
+            }
+        }
+    }
+}
+
+/// Serializes the collector's journal as chrome-trace JSON to `path`.
+fn write_profile(path: &std::path::Path, guard: &obs::InstallGuard) -> std::io::Result<()> {
+    let json = guard.collector().chrome_trace();
+    let dropped = guard.collector().journal_dropped();
+    std::fs::write(path, json)?;
+    if dropped > 0 {
+        eprintln!("trace: {dropped} events dropped under journal contention");
+    }
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

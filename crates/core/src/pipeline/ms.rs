@@ -288,6 +288,7 @@ impl MsPipeline {
     ///
     /// Propagates toolchain, training and evaluation errors.
     pub fn run(&self, prototype: &mut MmsPrototype) -> Result<MsRunReport, PipelineError> {
+        let _run_span = obs::span!("pipeline.ms.run");
         // 1. Calibration campaign (known mixtures, repeated measurements).
         let calibration = run_calibration_campaign(
             prototype,

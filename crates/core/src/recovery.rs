@@ -118,6 +118,7 @@ impl StageRunner {
     ) -> Result<T, PipelineError> {
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 1;
+        let _stage_span = obs::span(&format!("pipeline.stage.{stage}"));
         loop {
             let injected = self
                 .plan
@@ -143,6 +144,7 @@ impl StageRunner {
                             source: Box::new(error),
                         });
                     }
+                    obs::counter_add("pipeline.stage.retries", 1);
                     let delay = self.policy.delay(attempt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);

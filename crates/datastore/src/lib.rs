@@ -225,6 +225,7 @@ impl Store {
                 payload: value,
             },
         );
+        obs::counter_add("store.inserts", 1);
         Ok(id)
     }
 
@@ -394,6 +395,7 @@ impl Store {
         dir: &Path,
         plan: Option<&faultsim::FaultPlan>,
     ) -> Result<(), StoreError> {
+        let _span = obs::span!("store.save");
         std::fs::create_dir_all(dir)?;
         for doc in self.documents.read().values() {
             let doc_json =
@@ -444,6 +446,7 @@ impl Store {
     /// read or a quarantine move fails — per-document corruption is
     /// reported, not raised.
     pub fn load_from_dir_report(dir: &Path) -> Result<LoadReport, StoreError> {
+        let _span = obs::span!("store.load");
         let store = Self::in_memory();
         let mut max_id = 0u64;
         let mut docs = BTreeMap::new();

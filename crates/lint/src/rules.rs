@@ -10,17 +10,20 @@ use crate::findings::{Finding, Severity};
 use crate::lexer::{Token, TokenKind};
 
 /// Crates whose non-test library code must be panic-free
-/// (`no-unwrap-in-lib`): the serving path, the model runtime, persistence
-/// and the orchestration core.
-pub const PANIC_FREE_CRATES: &[&str] = &["serve", "neural", "datastore", "core"];
+/// (`no-unwrap-in-lib`): the serving path, the model runtime, persistence,
+/// the orchestration core and the observability layer (which instruments
+/// all of them and must never take a hot path down).
+pub const PANIC_FREE_CRATES: &[&str] = &["serve", "neural", "datastore", "core", "obs"];
 
 /// Crates that must stay bit-deterministic (`no-wallclock-nondeterminism`):
-/// the synthetic-spectra simulators and everything that trains or augments
-/// from seeded RNG streams.
-pub const DETERMINISTIC_CRATES: &[&str] = &["ms-sim", "nmr-sim", "neural", "chemometrics"];
+/// the synthetic-spectra simulators, everything that trains or augments
+/// from seeded RNG streams, and `obs` — whose `Clock` trait is the one
+/// sanctioned time source (the `MonotonicClock` impl carries a baselined
+/// suppression; everything else must take a `Clock`).
+pub const DETERMINISTIC_CRATES: &[&str] = &["ms-sim", "nmr-sim", "neural", "chemometrics", "obs"];
 
-/// The crate whose lock acquisitions the `lock-order` rule checks.
-pub const LOCK_ORDER_CRATE: &str = "serve";
+/// The crates whose lock acquisitions the `lock-order` rule checks.
+pub const LOCK_ORDER_CRATES: &[&str] = &["serve", "obs"];
 
 /// One file prepared for rule matching.
 pub struct FileInput<'a> {
@@ -225,10 +228,10 @@ fn forbid_unsafe_coverage(file: &FileInput<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// `lock-order`: flags nested lock acquisitions in `crates/serve` that
-/// invert the order declared in `lint.toml`'s `[lock-order]` table (and
-/// re-acquisitions of a lock already held, which self-deadlock under
-/// `parking_lot`).
+/// `lock-order`: flags nested lock acquisitions in the lock-ordered
+/// crates ([`LOCK_ORDER_CRATES`]) that invert the order declared in
+/// `lint.toml`'s `[lock-order]` table (and re-acquisitions of a lock
+/// already held, which self-deadlock under `parking_lot`).
 ///
 /// Heuristic, intra-function only: an acquisition is `<recv>.lock()`,
 /// `.read()` or `.write()` whose receiver's final field name appears in
@@ -238,7 +241,7 @@ fn forbid_unsafe_coverage(file: &FileInput<'_>, out: &mut Vec<Finding>) {
 /// reached through function calls are out of scope — keep lock use
 /// syntactically local, which is good style under this rule anyway.
 fn lock_order(file: &FileInput<'_>, config: &LintConfig, out: &mut Vec<Finding>) {
-    if file.crate_name != LOCK_ORDER_CRATE || config.lock_order.is_empty() {
+    if !LOCK_ORDER_CRATES.contains(&file.crate_name) || config.lock_order.is_empty() {
         return;
     }
     let rank_of = |name: &str| config.lock_order.iter().position(|l| l == name);

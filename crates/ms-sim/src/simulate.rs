@@ -173,6 +173,7 @@ impl TrainingSimulator {
         count: usize,
         rng: &mut R,
     ) -> Result<LabeledSpectra, MsSimError> {
+        let _span = obs::span!("ms.generate_dataset");
         let names: Vec<&str> = self.substances.iter().map(String::as_str).collect();
         let mut inputs = Vec::with_capacity(count);
         let mut labels = Vec::with_capacity(count);
@@ -181,6 +182,7 @@ impl TrainingSimulator {
             let spectrum = self.simulate_measurement(&mixture, rng)?;
             inputs.push(spectrum.into_intensities());
             labels.push(mixture.fractions_for(&names));
+            obs::counter_add("ms.spectra_generated", 1);
         }
         Ok(LabeledSpectra {
             inputs,

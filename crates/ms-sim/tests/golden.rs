@@ -1,0 +1,212 @@
+//! Golden-file regression test for the MS measurement simulator.
+//!
+//! Pins the exact numeric output of Tool 3 — ideal line spectra and the
+//! continuous spectra the nominal instrument renders/measures from them —
+//! against a blessed fixture under `tests/golden/`. Every value is stored
+//! as the hex of its `f64` bit pattern, so the comparison is bit-exact:
+//! any change to the fragmentation library, superposition, peak-shape
+//! rendering, noise model, or RNG stream shows up as a failure naming the
+//! first diverging sample index.
+//!
+//! To re-bless after an intentional change:
+//! `MS_GOLDEN_BLESS=1 cargo test -p ms-sim --test golden`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use chem::fragmentation::GasLibrary;
+use chem::Mixture;
+use ms_sim::instrument::{default_axis, nominal_instrument};
+use ms_sim::simulate::TrainingSimulator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const FIXTURE: &str = "instrument_v1.txt";
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(FIXTURE)
+}
+
+fn simulator() -> TrainingSimulator {
+    TrainingSimulator::new(
+        nominal_instrument(),
+        GasLibrary::standard(),
+        vec!["N2".into(), "O2".into(), "Ar".into(), "CO2".into()],
+        default_axis(),
+    )
+    .expect("build nominal simulator")
+}
+
+fn air_like() -> Mixture {
+    Mixture::from_fractions(vec![
+        ("N2".into(), 0.78),
+        ("O2".into(), 0.21),
+        ("Ar".into(), 0.01),
+    ])
+    .expect("air-like mixture")
+}
+
+fn quaternary() -> Mixture {
+    Mixture::from_fractions(vec![
+        ("N2".into(), 0.25),
+        ("O2".into(), 0.25),
+        ("Ar".into(), 0.25),
+        ("CO2".into(), 0.25),
+    ])
+    .expect("quaternary mixture")
+}
+
+fn hex_line(values: impl IntoIterator<Item = f64>) -> String {
+    let mut line = String::new();
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        write!(line, "{:016x}", v.to_bits()).expect("write hex word");
+    }
+    line
+}
+
+/// Renders the full fixture text: one `case <name>` header per scenario
+/// followed by one line of space-separated f64 bit patterns.
+fn render_fixture() -> String {
+    let sim = simulator();
+    let mut out = String::new();
+    out.push_str("# ms-sim golden fixture: bit-exact Tool-3 outputs on the nominal instrument.\n");
+    out.push_str("# Values are hex f64 bit patterns; line sticks are (m/z, intensity) pairs.\n");
+    out.push_str("# Regenerate with: MS_GOLDEN_BLESS=1 cargo test -p ms-sim --test golden\n");
+
+    let mut case = |name: &str, values: Vec<f64>| {
+        writeln!(out, "case {name}").expect("write case header");
+        out.push_str(&hex_line(values));
+        out.push('\n');
+    };
+
+    // Ideal line spectra (superposition + ignition gas), flattened to
+    // alternating (m/z, intensity) pairs.
+    for (name, mixture) in [
+        ("line/pure-n2", Mixture::pure("N2")),
+        ("line/air-like", air_like()),
+    ] {
+        let line = sim.sample_line(&mixture).expect("sample line");
+        case(
+            name,
+            line.sticks().iter().flat_map(|&(mz, i)| [mz, i]).collect(),
+        );
+    }
+
+    // Noiseless continuous renders of those line spectra.
+    for (name, mixture) in [
+        ("clean/pure-n2", Mixture::pure("N2")),
+        ("clean/air-like", air_like()),
+        ("clean/equal-quaternary", quaternary()),
+    ] {
+        let spectrum = sim.simulate_clean(&mixture).expect("simulate clean");
+        case(name, spectrum.into_intensities());
+    }
+
+    // Noisy measurements: the RNG seed is part of the contract, pinning
+    // the whole ChaCha8 draw order through the noise model.
+    for (name, mixture, seed) in [
+        ("noisy/air-like/seed-11", air_like(), 11u64),
+        ("noisy/equal-quaternary/seed-29", quaternary(), 29u64),
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spectrum = sim
+            .simulate_measurement(&mixture, &mut rng)
+            .expect("simulate measurement");
+        case(name, spectrum.into_intensities());
+    }
+
+    out
+}
+
+/// Splits fixture text into `(case name, hex words)` pairs.
+fn parse_cases(text: &str) -> Vec<(String, Vec<String>)> {
+    let mut cases = Vec::new();
+    let mut lines = text.lines().filter(|l| !l.starts_with('#') && !l.is_empty());
+    while let Some(header) = lines.next() {
+        let name = header
+            .strip_prefix("case ")
+            .unwrap_or_else(|| panic!("malformed fixture header: {header:?}"));
+        let data = lines.next().unwrap_or_else(|| {
+            panic!("fixture truncated: case {name} has no data line")
+        });
+        cases.push((
+            name.to_string(),
+            data.split_whitespace().map(str::to_string).collect(),
+        ));
+    }
+    cases
+}
+
+#[test]
+fn simulator_output_matches_blessed_fixture_bit_for_bit() {
+    let current = render_fixture();
+    let path = fixture_path();
+
+    if std::env::var("MS_GOLDEN_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create golden dir");
+        std::fs::write(&path, &current).expect("write blessed fixture");
+        println!("blessed {}", path.display());
+        return;
+    }
+
+    let blessed = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden fixture {} ({err}); run MS_GOLDEN_BLESS=1 \
+             cargo test -p ms-sim --test golden to create it",
+            path.display()
+        )
+    });
+
+    let expected = parse_cases(&blessed);
+    let actual = parse_cases(&current);
+    let expected_names: Vec<&str> = expected.iter().map(|(n, _)| n.as_str()).collect();
+    let actual_names: Vec<&str> = actual.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        expected_names, actual_names,
+        "golden case list changed; re-bless if intentional"
+    );
+
+    for ((name, want), (_, got)) in expected.iter().zip(&actual) {
+        assert_eq!(
+            want.len(),
+            got.len(),
+            "case {name}: sample count changed ({} blessed vs {} now)",
+            want.len(),
+            got.len()
+        );
+        // Report the FIRST diverging index, with both bit patterns and
+        // the decoded values — that index is usually enough to tell
+        // whether a peak moved, a width changed, or the RNG stream
+        // shifted.
+        if let Some(i) = (0..want.len()).find(|&i| want[i] != got[i]) {
+            let decode = |hex: &str| {
+                u64::from_str_radix(hex, 16)
+                    .map(f64::from_bits)
+                    .unwrap_or(f64::NAN)
+            };
+            panic!(
+                "case {name}: first divergence at sample index {i}: \
+                 blessed {} ({:e}) vs current {} ({:e}); {} trailing samples \
+                 not compared. Re-bless with MS_GOLDEN_BLESS=1 if this \
+                 change is intentional.",
+                want[i],
+                decode(&want[i]),
+                got[i],
+                decode(&got[i]),
+                want.len() - i - 1,
+            );
+        }
+    }
+}
+
+#[test]
+fn fixture_renders_identically_twice() {
+    // The fixture generator itself must be deterministic, otherwise the
+    // golden comparison would be meaningless.
+    assert_eq!(render_fixture(), render_fixture());
+}

@@ -1,0 +1,153 @@
+//! Property-based linearity tests for the ideal line-spectra simulator
+//! (Tool 1).
+//!
+//! The paper's Tool 1 generates mixture spectra "by linear superposition"
+//! — these properties pin that down algebraically: superposition over
+//! mixture compositions (`sim(a·c1 + b·c2) == a·sim(c1) + b·sim(c2)`),
+//! decomposition into fraction-weighted pure spectra, and invariance
+//! under permutation of the component listing order.
+
+use chem::fragmentation::GasLibrary;
+use chem::Mixture;
+use ms_sim::campaign::MS_TASK_SUBSTANCES;
+use ms_sim::ideal::IdealSpectrumGenerator;
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn generator() -> IdealSpectrumGenerator {
+    IdealSpectrumGenerator::new(GasLibrary::standard())
+}
+
+/// A task mixture built from explicit per-substance weights.
+fn task_mixture(weights: &[f64]) -> Mixture {
+    Mixture::from_weights(
+        MS_TASK_SUBSTANCES
+            .iter()
+            .zip(weights)
+            .map(|(&n, &w)| (n.to_string(), w))
+            .collect(),
+    )
+    .expect("positive weights")
+}
+
+/// All m/z positions where either spectrum has a stick — the only places
+/// a line spectrum is non-zero.
+fn stick_positions(spectra: &[&spectrum::LineSpectrum]) -> Vec<f64> {
+    let mut positions: Vec<f64> = spectra
+        .iter()
+        .flat_map(|s| s.sticks().iter().map(|&(mz, _)| mz))
+        .collect();
+    positions.sort_by(f64::total_cmp);
+    positions.dedup();
+    positions
+}
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01..1.0f64, MS_TASK_SUBSTANCES.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn superposition_of_compositions(
+        w1 in weights_strategy(),
+        w2 in weights_strategy(),
+        a in 0.05..0.95f64,
+    ) {
+        // sim(a·c1 + b·c2) == a·sim(c1) + b·sim(c2) with b = 1 - a:
+        // blending two compositions then simulating equals blending the
+        // two simulated spectra.
+        let b = 1.0 - a;
+        let gen = generator();
+        let m1 = task_mixture(&w1);
+        let m2 = task_mixture(&w2);
+        let names: Vec<&str> = MS_TASK_SUBSTANCES.to_vec();
+        let f1 = m1.fractions_for(&names);
+        let f2 = m2.fractions_for(&names);
+        let blended = Mixture::from_weights(
+            names
+                .iter()
+                .zip(f1.iter().zip(&f2))
+                .map(|(&n, (&x1, &x2))| (n.to_string(), a * x1 + b * x2))
+                .collect(),
+        )
+        .expect("blended weights");
+
+        let sim_blend = gen.generate(&blended).expect("sim blended");
+        let sim1 = gen.generate(&m1).expect("sim c1");
+        let sim2 = gen.generate(&m2).expect("sim c2");
+        for mz in stick_positions(&[&sim_blend, &sim1, &sim2]) {
+            let lhs = sim_blend.intensity_at(mz);
+            let rhs = a * sim1.intensity_at(mz) + b * sim2.intensity_at(mz);
+            prop_assert!(
+                (lhs - rhs).abs() <= TOL,
+                "superposition violated at m/z {}: {} vs {}", mz, lhs, rhs
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_decomposes_into_fraction_weighted_pure_spectra(w in weights_strategy()) {
+        let gen = generator();
+        let mix = task_mixture(&w);
+        let sim = gen.generate(&mix).expect("sim mixture");
+        let pures: Vec<(spectrum::LineSpectrum, f64)> = mix
+            .iter()
+            .map(|(name, frac)| (gen.generate_pure(name).expect("pure"), *frac))
+            .collect();
+        let pure_refs: Vec<&spectrum::LineSpectrum> =
+            pures.iter().map(|(s, _)| s).collect();
+        let mut positions = stick_positions(&pure_refs);
+        positions.extend(sim.sticks().iter().map(|&(mz, _)| mz));
+        for mz in positions {
+            let expected: f64 = pures
+                .iter()
+                .map(|(pure, frac)| frac * pure.intensity_at(mz))
+                .sum();
+            prop_assert!(
+                (sim.intensity_at(mz) - expected).abs() <= TOL,
+                "decomposition violated at m/z {}", mz
+            );
+        }
+    }
+
+    #[test]
+    fn listing_order_of_components_is_irrelevant(w in weights_strategy(), rot in 0usize..8) {
+        // Concentration-permutation invariance: the same composition
+        // listed in a rotated order simulates to the same spectrum.
+        let gen = generator();
+        let mix = task_mixture(&w);
+        let rot = rot % mix.parts().len();
+        let mut rotated_parts = mix.parts().to_vec();
+        rotated_parts.rotate_left(rot);
+        let rotated = Mixture::from_fractions(rotated_parts).expect("rotated mixture");
+
+        let sim = gen.generate(&mix).expect("sim");
+        let sim_rot = gen.generate(&rotated).expect("sim rotated");
+        prop_assert_eq!(sim.sticks().len(), sim_rot.sticks().len());
+        for (&(mz_a, i_a), &(mz_b, i_b)) in sim.sticks().iter().zip(sim_rot.sticks()) {
+            prop_assert!((mz_a - mz_b).abs() <= TOL);
+            prop_assert!(
+                (i_a - i_b).abs() <= TOL,
+                "permutation changed intensity at m/z {}: {} vs {}", mz_a, i_a, i_b
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_all_weights_leaves_the_spectrum_unchanged(
+        w in weights_strategy(), scale in 0.1..10.0f64
+    ) {
+        // Fractions are normalized, so multiplying every raw weight by
+        // the same constant is a no-op on the simulated spectrum.
+        let gen = generator();
+        let scaled: Vec<f64> = w.iter().map(|&x| x * scale).collect();
+        let sim = gen.generate(&task_mixture(&w)).expect("sim");
+        let sim_scaled = gen.generate(&task_mixture(&scaled)).expect("sim scaled");
+        for mz in stick_positions(&[&sim, &sim_scaled]) {
+            prop_assert!((sim.intensity_at(mz) - sim_scaled.intensity_at(mz)).abs() <= TOL);
+        }
+    }
+}

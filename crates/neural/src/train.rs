@@ -274,8 +274,16 @@ impl Trainer {
             best_epoch: None,
         };
         let mut best: Option<(f32, Vec<Vec<Vec<f32>>>)> = None;
+        obs::gauge_set(
+            "train.lr",
+            f64::from(match self.config.optimizer {
+                OptimizerSpec::Sgd { lr, .. } => lr,
+                OptimizerSpec::Adam { lr } => lr,
+            }),
+        );
 
         for epoch in 0..self.config.epochs {
+            let _epoch_span = obs::span!("train.epoch");
             let data = if self.config.shuffle {
                 train.shuffled(self.config.seed.wrapping_add(epoch as u64))
             } else {
@@ -284,6 +292,7 @@ impl Trainer {
             let mut epoch_loss = 0.0f64;
             let mut processed = 0usize;
             while processed < data.len() {
+                let _batch_span = obs::span!("train.batch");
                 let end = (processed + self.config.batch_size).min(data.len());
                 network.zero_grads();
                 for i in processed..end {
@@ -297,9 +306,9 @@ impl Trainer {
                 network.apply_gradients(optimizer.as_mut(), end - processed);
                 processed = end;
             }
-            history
-                .train_loss
-                .push((epoch_loss / data.len() as f64) as f32);
+            let mean_loss = (epoch_loss / data.len() as f64) as f32;
+            history.train_loss.push(mean_loss);
+            obs::gauge_set("train.loss", f64::from(mean_loss));
 
             if let Some(val) = validation {
                 let v = val.evaluate(network, self.config.loss);
@@ -307,6 +316,7 @@ impl Trainer {
                     return Err(NeuralError::Diverged { epoch });
                 }
                 history.val_loss.push(v);
+                obs::gauge_set("train.val_loss", f64::from(v));
                 let improved = best.as_ref().is_none_or(|(b, _)| v < *b);
                 if improved {
                     best = Some((v, network.export_weights()));

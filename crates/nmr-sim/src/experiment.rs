@@ -157,6 +157,7 @@ impl FlowReactorExperiment {
     ///
     /// Propagates reaction and rendering errors.
     pub fn acquire(&self) -> Result<ExperimentRun, NmrSimError> {
+        let _span = obs::span!("nmr.acquire");
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut spectra = Vec::new();
         let mut reference = Vec::new();
@@ -178,6 +179,7 @@ impl FlowReactorExperiment {
                 reference.push(reference_row);
                 truth.push(conc.clone());
                 plateau.push(p);
+                obs::counter_add("nmr.spectra_generated", 1);
             }
         }
         Ok(ExperimentRun {

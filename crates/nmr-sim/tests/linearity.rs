@@ -1,0 +1,147 @@
+//! Property-based shift/broadening-bounds and linearity tests for the
+//! NMR simulator — the nmr-sim analogue of the ms-sim superposition
+//! properties.
+//!
+//! NMR's calibration-free linearity (peak area ∝ concentration) is what
+//! the IHM hard models rely on; these properties pin it down for
+//! `NmrComponent::render` and for the clean (effects-off) flow-reactor
+//! synthesis, and bound the two perturbations IHM allows: chemical-shift
+//! offsets move the peak by exactly the offset, and line broadening stays
+//! inside the experiment's `[0.75, 1.35]` clamp.
+
+use chem::nmr::lithiation_components;
+use nmr_sim::experiment::{clean_config, ExperimentConfig, FlowReactorExperiment};
+use nmr_sim::nmr_axis;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Index of the single-peak Li-HMDS component (peak at 0.12 ppm).
+const HMDS: usize = 2;
+const HMDS_CENTER: f64 = 0.12;
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn render_is_linear_in_concentration(
+        conc in 0.05..2.0f64, scale in 0.1..8.0f64, which in 0usize..4
+    ) {
+        let axis = nmr_axis();
+        let component = &lithiation_components()[which];
+        let base = component.render(&axis, conc, 0.0, 1.0).expect("render");
+        let scaled = component.render(&axis, conc * scale, 0.0, 1.0).expect("render scaled");
+        for (a, b) in base.intensities().iter().zip(scaled.intensities()) {
+            // Exactly linear up to floating-point rounding.
+            prop_assert!(
+                (b - scale * a).abs() <= 1e-9 * (1.0 + a.abs() * scale),
+                "render not linear: {} vs {}", b, scale * a
+            );
+        }
+    }
+
+    #[test]
+    fn shift_moves_the_peak_by_exactly_the_offset(shift in 0.5..10.0f64, conc in 0.1..1.0f64) {
+        // Single-peak component: the rendered argmax must land on the
+        // axis sample nearest to (center + shift).
+        let axis = nmr_axis();
+        let hmds = &lithiation_components()[HMDS];
+        let rendered = hmds.render(&axis, conc, shift, 1.0).expect("render");
+        let peak_idx = argmax(rendered.intensities());
+        let peak_ppm = axis.value_at(peak_idx);
+        prop_assert!(
+            (peak_ppm - (HMDS_CENTER + shift)).abs() <= axis.step(),
+            "peak at {} ppm, expected {} ppm", peak_ppm, HMDS_CENTER + shift
+        );
+    }
+
+    #[test]
+    fn broadening_lowers_the_peak_and_conserves_area(
+        b1 in 0.75..1.34f64, delta in 0.01..0.6f64, conc in 0.2..1.0f64
+    ) {
+        // Across the experiment's clamp range [0.75, 1.35]: wider lines
+        // are strictly lower at the peak while the integrated area stays
+        // put (the broadening is a reshape, not a gain change). Rendered
+        // mid-axis so support truncation at the axis edge plays no role.
+        let b2 = (b1 + delta).min(1.35);
+        prop_assume!(b2 > b1);
+        let axis = nmr_axis();
+        let hmds = &lithiation_components()[HMDS];
+        let shift = 6.0 - HMDS_CENTER;
+        let narrow = hmds.render(&axis, conc, shift, b1).expect("narrow");
+        let wide = hmds.render(&axis, conc, shift, b2).expect("wide");
+        prop_assert!(
+            wide.max_intensity() < narrow.max_intensity(),
+            "broadening must lower the maximum ({} vs {})",
+            wide.max_intensity(), narrow.max_intensity()
+        );
+        let ratio = wide.area() / narrow.area();
+        prop_assert!(
+            (ratio - 1.0).abs() < 0.02,
+            "broadening changed the area by more than 2% (ratio {})", ratio
+        );
+    }
+
+    #[test]
+    fn clean_synthesis_scales_linearly_with_all_concentrations(
+        c0 in 0.05..0.5f64, c1 in 0.05..0.5f64, c2 in 0.05..0.5f64, c3 in 0.05..0.5f64,
+        scale in 0.5..4.0f64, seed in 0u64..100
+    ) {
+        // With every hidden effect off, synthesis is pure superposition:
+        // scaling the concentration vector scales the spectrum.
+        let experiment = FlowReactorExperiment::new(seed, clean_config());
+        let conc = [c0, c1, c2, c3];
+        let scaled: Vec<f64> = conc.iter().map(|&c| c * scale).collect();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let base = experiment.synthesize(&conc, &mut rng_a).expect("synthesize");
+        let double = experiment.synthesize(&scaled, &mut rng_b).expect("synthesize scaled");
+        for (a, b) in base.intensities().iter().zip(double.intensities()) {
+            prop_assert!(
+                (b - scale * a).abs() <= 1e-9 * (1.0 + a.abs() * scale),
+                "clean synthesis not linear: {} vs {}", b, scale * a
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_broadening_stays_inside_the_clamp(seed in 0u64..50, conc in 0.2..1.0f64) {
+        // Even with absurd broadening jitter, the synthesized Li-HMDS
+        // peak height stays between the heights rendered at the clamp
+        // bounds 0.75 and 1.35 — the jitter is clamped, not open-ended.
+        let config = ExperimentConfig {
+            broadening_jitter: 100.0,
+            shift_coupling: 0.0,
+            shift_jitter: 0.0,
+            baseline_amplitude: 0.0,
+            noise_sigma: 0.0,
+            ..ExperimentConfig::default()
+        };
+        let experiment = FlowReactorExperiment::new(seed, config);
+        let axis = nmr_axis();
+        let hmds = &lithiation_components()[HMDS];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spectrum = experiment
+            .synthesize(&[0.0, 0.0, conc, 0.0], &mut rng)
+            .expect("synthesize");
+        let narrowest = hmds.render(&axis, conc, 0.0, 0.75).expect("render 0.75");
+        let widest = hmds.render(&axis, conc, 0.0, 1.35).expect("render 1.35");
+        let max = spectrum.max_intensity();
+        prop_assert!(
+            max <= narrowest.max_intensity() * (1.0 + 1e-9),
+            "peak taller than the 0.75-clamp bound"
+        );
+        prop_assert!(
+            max >= widest.max_intensity() * (1.0 - 1e-9),
+            "peak shorter than the 1.35-clamp bound"
+        );
+    }
+}

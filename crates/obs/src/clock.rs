@@ -1,0 +1,113 @@
+//! Time sources for span timing.
+//!
+//! Every timestamp in this crate flows through the [`Clock`] trait — the
+//! single sanctioned time source of the workspace (spectro-lint's
+//! `no-wallclock-nondeterminism` rule keeps raw `Instant::now()` out of
+//! the deterministic crates). Production uses [`MonotonicClock`]; tests
+//! and the fault simulator inject a [`ManualClock`] so span durations are
+//! exact, reproducible numbers rather than scheduler noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+///
+/// Implementations must be monotonic per instance (later calls never
+/// return a smaller value than earlier calls observed on the same
+/// thread); they need not share an epoch across instances.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall-time monotonic clock: nanoseconds since construction.
+///
+/// This is the only place in the workspace that reads the OS monotonic
+/// clock for observability purposes.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: time only moves when
+/// [`ManualClock::advance`] (or [`ManualClock::set`]) is called.
+///
+/// Share one instance across threads via `Arc` — reads and advances are
+/// atomic.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at `start_nanos`.
+    pub fn new(start_nanos: u64) -> Self {
+        Self {
+            nanos: AtomicU64::new(start_nanos),
+        }
+    }
+
+    /// Moves time forward by `delta_nanos` and returns the new reading.
+    pub fn advance(&self, delta_nanos: u64) -> u64 {
+        self.nanos
+            .fetch_add(delta_nanos, Ordering::SeqCst)
+            .saturating_add(delta_nanos)
+    }
+
+    /// Sets the absolute reading. Callers are responsible for keeping the
+    /// sequence monotonic.
+    pub fn set(&self, nanos: u64) {
+        self.nanos.store(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let clock = ManualClock::new(100);
+        assert_eq!(clock.now_nanos(), 100);
+        assert_eq!(clock.now_nanos(), 100);
+        assert_eq!(clock.advance(50), 150);
+        assert_eq!(clock.now_nanos(), 150);
+        clock.set(10);
+        assert_eq!(clock.now_nanos(), 10);
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,334 @@
+//! Resolved events, subscribers, and exporters.
+//!
+//! The journal stores compact fixed-size records; [`Event`] is the
+//! resolved form with the interned name expanded. Subscribers receive
+//! events synchronously as they are recorded; exporters render a slice
+//! of events to text. All JSON here is hand-rolled (the crate is
+//! dependency-free) and kept simple enough to be parsed back by any
+//! JSON reader — the obs round-trip tests do exactly that with
+//! `serde_json` as a dev-dependency.
+
+use std::sync::{Mutex, PoisonError};
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed timing span.
+    Span,
+    /// A gauge update.
+    Gauge,
+}
+
+/// A resolved observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Span or metric name, e.g. `serve.batch`.
+    pub name: String,
+    /// Span vs gauge.
+    pub kind: EventKind,
+    /// Observability thread id (1-based).
+    pub thread: u32,
+    /// Nesting depth at open time (0 = root). Zero for gauges.
+    pub depth: u32,
+    /// Start (spans) or update (gauges) time in clock nanos.
+    pub start_ns: u64,
+    /// End time in clock nanos. Equals `start_ns` for gauges.
+    pub end_ns: u64,
+    /// Gauge value; `0.0` for spans.
+    pub value: f64,
+}
+
+impl Event {
+    /// Span duration in nanoseconds (zero for gauges).
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Receives every event synchronously at record time.
+///
+/// Implementations must be cheap and non-blocking — they run inline in
+/// span drops on hot paths.
+pub trait Subscriber: Send + Sync {
+    /// Called once per completed span / gauge update.
+    fn on_event(&self, event: &Event);
+}
+
+/// Collects indented human-readable lines, one per event.
+#[derive(Debug, Default)]
+pub struct HumanSubscriber {
+    lines: Mutex<Vec<String>>,
+}
+
+impl HumanSubscriber {
+    /// An empty subscriber.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lines collected so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Subscriber for HumanSubscriber {
+    fn on_event(&self, event: &Event) {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(human_line(event));
+    }
+}
+
+/// Collects one JSON object per line (JSON-lines / ndjson).
+#[derive(Debug, Default)]
+pub struct JsonLinesSubscriber {
+    lines: Mutex<Vec<String>>,
+}
+
+impl JsonLinesSubscriber {
+    /// An empty subscriber.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The JSON lines collected so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Subscriber for JsonLinesSubscriber {
+    fn on_event(&self, event: &Event) {
+        self.lines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(json_line(event));
+    }
+}
+
+/// Buffers events and renders them as a chrome-trace (`about://tracing`
+/// / Perfetto) JSON document on demand.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSubscriber {
+    events: Mutex<Vec<Event>>,
+}
+
+impl ChromeTraceSubscriber {
+    /// An empty subscriber.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders everything buffered so far as chrome-trace JSON.
+    pub fn to_json(&self) -> String {
+        chrome_trace(&self.events.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Number of events buffered.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been buffered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Subscriber for ChromeTraceSubscriber {
+    fn on_event(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+/// One indented human-readable line for an event, e.g.
+/// `"  serve.request 1.250ms [t3]"` or `"train.loss = 0.4821 [t1]"`.
+pub fn human_line(event: &Event) -> String {
+    let indent = "  ".repeat(event.depth as usize);
+    match event.kind {
+        EventKind::Span => format!(
+            "{indent}{} {:.3}ms [t{}]",
+            event.name,
+            event.duration_nanos() as f64 / 1_000_000.0,
+            event.thread
+        ),
+        EventKind::Gauge => format!(
+            "{indent}{} = {} [t{}]",
+            event.name,
+            fmt_f64(event.value),
+            event.thread
+        ),
+    }
+}
+
+/// One JSON object (no trailing newline) for an event.
+pub fn json_line(event: &Event) -> String {
+    let kind = match event.kind {
+        EventKind::Span => "span",
+        EventKind::Gauge => "gauge",
+    };
+    format!(
+        "{{\"name\":{},\"kind\":\"{kind}\",\"thread\":{},\"depth\":{},\"start_ns\":{},\"end_ns\":{},\"value\":{}}}",
+        escape_json(&event.name),
+        event.thread,
+        event.depth,
+        event.start_ns,
+        event.end_ns,
+        fmt_f64(event.value),
+    )
+}
+
+/// Renders events as a chrome-trace JSON document: spans become `"X"`
+/// (complete) events with microsecond `ts`/`dur`, gauges become `"C"`
+/// (counter) events. Load the output in `about://tracing` or Perfetto.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match event.kind {
+            EventKind::Span => {
+                out.push_str(&format!(
+                    "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                    escape_json(&event.name),
+                    fmt_f64(event.start_ns as f64 / 1000.0),
+                    fmt_f64(event.duration_nanos() as f64 / 1000.0),
+                    event.thread,
+                ));
+            }
+            EventKind::Gauge => {
+                out.push_str(&format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                    escape_json(&event.name),
+                    fmt_f64(event.start_ns as f64 / 1000.0),
+                    event.thread,
+                    fmt_f64(event.value),
+                ));
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Formats an `f64` as a JSON number; non-finite values become `null`.
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        let mut s = format!("{value}");
+        // `{}` prints integral floats without a dot; keep them valid JSON
+        // numbers but unambiguous as floats.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string as a JSON string literal (with quotes).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_event(name: &str, depth: u32, start: u64, end: u64) -> Event {
+        Event {
+            name: name.to_string(),
+            kind: EventKind::Span,
+            thread: 1,
+            depth,
+            start_ns: start,
+            end_ns: end,
+            value: 0.0,
+        }
+    }
+
+    #[test]
+    fn human_line_indents_by_depth() {
+        let line = human_line(&span_event("serve.request", 2, 0, 1_500_000));
+        assert_eq!(line, "    serve.request 1.500ms [t1]");
+    }
+
+    #[test]
+    fn json_line_escapes_and_tags_kind() {
+        let mut e = span_event("a\"b", 0, 10, 20);
+        e.kind = EventKind::Gauge;
+        e.value = 1.5;
+        let line = json_line(&e);
+        assert!(line.contains("\"name\":\"a\\\"b\""));
+        assert!(line.contains("\"kind\":\"gauge\""));
+        assert!(line.contains("\"value\":1.5"));
+    }
+
+    #[test]
+    fn chrome_trace_emits_x_and_c_events() {
+        let mut gauge = span_event("queue.depth", 0, 2000, 2000);
+        gauge.kind = EventKind::Gauge;
+        gauge.value = 4.0;
+        let doc = chrome_trace(&[span_event("serve.batch", 0, 1000, 3000), gauge]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"dur\":2.0"));
+        assert!(doc.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn non_finite_gauge_becomes_null() {
+        let mut e = span_event("g", 0, 0, 0);
+        e.kind = EventKind::Gauge;
+        e.value = f64::NAN;
+        assert!(json_line(&e).contains("\"value\":null"));
+    }
+
+    #[test]
+    fn subscribers_buffer_events() {
+        let human = HumanSubscriber::new();
+        let json = JsonLinesSubscriber::new();
+        let chrome = ChromeTraceSubscriber::new();
+        let e = span_event("x", 0, 0, 1000);
+        human.on_event(&e);
+        json.on_event(&e);
+        chrome.on_event(&e);
+        assert_eq!(human.lines().len(), 1);
+        assert_eq!(json.lines().len(), 1);
+        assert_eq!(chrome.len(), 1);
+        assert!(!chrome.is_empty());
+        assert!(chrome.to_json().contains("\"name\":\"x\""));
+    }
+}

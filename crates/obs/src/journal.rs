@@ -1,0 +1,318 @@
+//! Bounded lock-free event journal and name interning.
+//!
+//! The journal is a fixed ring of seqlock slots. Writers claim a ticket
+//! with one `fetch_add`, then publish the record into `ticket % capacity`
+//! under a per-slot sequence lock. When the ring laps itself while a
+//! slot is mid-write the newer record is counted in `dropped` instead of
+//! blocking — recording never waits on another thread.
+//!
+//! Readers ([`Journal::snapshot`]) retry each slot until its sequence is
+//! stable, then sort by ticket so the returned order matches claim
+//! order. Torn (in-progress) slots are skipped, never half-read.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
+
+/// What a journal record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A completed span: `a` = start nanos, `b` = end nanos.
+    Span,
+    /// A gauge update: `a` = timestamp nanos, `b` = `f64` value bits.
+    Gauge,
+}
+
+impl RecordKind {
+    fn encode(self) -> u64 {
+        match self {
+            RecordKind::Span => 0,
+            RecordKind::Gauge => 1,
+        }
+    }
+
+    fn decode(bits: u64) -> Self {
+        match bits {
+            1 => RecordKind::Gauge,
+            _ => RecordKind::Span,
+        }
+    }
+}
+
+/// A decoded journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawEvent {
+    /// Global claim order (monotone across threads).
+    pub ticket: u64,
+    /// Record kind.
+    pub kind: RecordKind,
+    /// Interned name id (resolve via [`NameTable::resolve`]).
+    pub name_id: u32,
+    /// Observability thread id (1-based; see `span::thread_id`).
+    pub thread: u32,
+    /// Span nesting depth at open time (0 = root). Zero for gauges.
+    pub depth: u32,
+    /// Start nanos (spans) or timestamp nanos (gauges).
+    pub a: u64,
+    /// End nanos (spans) or `f64::to_bits` value (gauges).
+    pub b: u64,
+}
+
+/// One seqlock slot. `seq` is even when stable, odd while a writer owns
+/// the slot; it increments by 2 per publish.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    ticket: AtomicU64,
+    /// kind in the low word, depth in the high word.
+    kd: AtomicU64,
+    /// name id in the low word, thread id in the high word.
+    name_thread: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            ticket: AtomicU64::new(0),
+            kd: AtomicU64::new(0),
+            name_thread: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bounded lock-free ring of observability records.
+#[derive(Debug)]
+pub struct Journal {
+    slots: Vec<Slot>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` records (rounded up to 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever claimed (including ones since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::SeqCst)
+    }
+
+    /// Records abandoned because their slot was mid-write when the ring
+    /// lapped it.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Publishes one record. Never blocks: if the target slot is owned by
+    /// a concurrent writer the record is dropped and counted.
+    pub fn record(
+        &self,
+        kind: RecordKind,
+        name_id: u32,
+        thread: u32,
+        depth: u32,
+        a: u64,
+        b: u64,
+    ) {
+        let ticket = self.cursor.fetch_add(1, Ordering::SeqCst);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let seq = slot.seq.load(Ordering::SeqCst);
+        if seq % 2 == 1 {
+            // Another writer owns this slot (ring lapped a stalled write).
+            self.dropped.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        if slot
+            .seq
+            .compare_exchange(seq, seq + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        slot.ticket.store(ticket, Ordering::SeqCst);
+        slot.kd
+            .store(kind.encode() | (u64::from(depth) << 32), Ordering::SeqCst);
+        slot.name_thread
+            .store(u64::from(name_id) | (u64::from(thread) << 32), Ordering::SeqCst);
+        slot.a.store(a, Ordering::SeqCst);
+        slot.b.store(b, Ordering::SeqCst);
+        slot.seq.store(seq + 2, Ordering::SeqCst);
+    }
+
+    /// A consistent snapshot of every stable record, sorted by ticket
+    /// (i.e. claim order). Slots currently being written are skipped.
+    pub fn snapshot(&self) -> Vec<RawEvent> {
+        let mut events = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let s1 = slot.seq.load(Ordering::SeqCst);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or write in progress
+            }
+            let ticket = slot.ticket.load(Ordering::SeqCst);
+            let kd = slot.kd.load(Ordering::SeqCst);
+            let name_thread = slot.name_thread.load(Ordering::SeqCst);
+            let a = slot.a.load(Ordering::SeqCst);
+            let b = slot.b.load(Ordering::SeqCst);
+            if slot.seq.load(Ordering::SeqCst) != s1 {
+                continue; // torn read: a writer raced us
+            }
+            events.push(RawEvent {
+                ticket,
+                kind: RecordKind::decode(kd & 0xFFFF_FFFF),
+                name_id: (name_thread & 0xFFFF_FFFF) as u32,
+                thread: (name_thread >> 32) as u32,
+                depth: (kd >> 32) as u32,
+                a,
+                b,
+            });
+        }
+        events.sort_by_key(|e| e.ticket);
+        events
+    }
+}
+
+/// Interns span/metric names to dense `u32` ids so the journal's
+/// fixed-size slots never store strings.
+#[derive(Debug, Default)]
+pub struct NameTable {
+    /// Forward map plus id-indexed reverse list, updated together.
+    names: RwLock<(HashMap<String, u32>, Vec<String>)>,
+}
+
+impl NameTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id for `name`, assigning the next free id on first sight.
+    pub fn intern(&self, name: &str) -> u32 {
+        if let Some(&id) = self
+            .names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+            .get(name)
+        {
+            return id;
+        }
+        let mut guard = self.names.write().unwrap_or_else(PoisonError::into_inner);
+        let (map, list) = &mut *guard;
+        if let Some(&id) = map.get(name) {
+            return id; // raced with another writer
+        }
+        let id = list.len() as u32;
+        list.push(name.to_string());
+        map.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name behind `id`, or `"?"` for an id this table never issued.
+    pub fn resolve(&self, id: u32) -> String {
+        self.names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .1
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| "?".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_come_back_in_ticket_order() {
+        let j = Journal::new(8);
+        for i in 0..5u64 {
+            j.record(RecordKind::Span, i as u32, 1, 0, i * 10, i * 10 + 5);
+        }
+        let events = j.snapshot();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ticket, i as u64);
+            assert_eq!(e.name_id, i as u32);
+            assert_eq!(e.a, i as u64 * 10);
+            assert_eq!(e.kind, RecordKind::Span);
+        }
+        assert_eq!(j.recorded(), 5);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_only_newest_capacity_records() {
+        let j = Journal::new(4);
+        for i in 0..10u64 {
+            j.record(RecordKind::Span, i as u32, 1, 0, i, i + 1);
+        }
+        let events = j.snapshot();
+        assert_eq!(events.len(), 4);
+        let tickets: Vec<u64> = events.iter().map(|e| e.ticket).collect();
+        assert_eq!(tickets, vec![6, 7, 8, 9]);
+        assert_eq!(j.recorded(), 10);
+    }
+
+    #[test]
+    fn gauge_records_round_trip_f64_bits() {
+        let j = Journal::new(4);
+        j.record(RecordKind::Gauge, 3, 2, 0, 100, 2.5f64.to_bits());
+        let events = j.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, RecordKind::Gauge);
+        assert_eq!(f64::from_bits(events[0].b), 2.5);
+        assert_eq!(events[0].thread, 2);
+    }
+
+    #[test]
+    fn name_table_interns_stably() {
+        let t = NameTable::new();
+        let a = t.intern("train.epoch");
+        let b = t.intern("serve.batch");
+        assert_eq!(t.intern("train.epoch"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "train.epoch");
+        assert_eq!(t.resolve(b), "serve.batch");
+        assert_eq!(t.resolve(999), "?");
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_when_ring_is_big_enough() {
+        use std::sync::Arc;
+        let j = Arc::new(Journal::new(4096));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let j = Arc::clone(&j);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    j.record(RecordKind::Span, t, t + 1, 0, i, i + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(j.recorded(), 800);
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.snapshot().len(), 800);
+    }
+}

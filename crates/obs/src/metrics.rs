@@ -1,0 +1,377 @@
+//! Atomic metric primitives: counters, gauges, power-of-two histograms,
+//! and a name-keyed registry.
+//!
+//! Every update is a single atomic operation — no lock sits on any hot
+//! path. The registry's maps are only locked when a handle is first
+//! resolved; call sites that care cache the returned `Arc`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Number of power-of-two histogram buckets. Bucket `i` covers
+/// `[2^i, 2^(i+1))` (bucket 0 also absorbs zero), so 40 buckets of
+/// microseconds span up to ~12 days — far beyond any deadline.
+pub const BUCKETS: usize = 40;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Raises the counter to `value` if it is below it (high-water-mark
+    /// semantics).
+    pub fn record_max(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic `f64` gauge (last-write-wins).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed power-of-two bucket histogram over `u64` values (typically
+/// microseconds).
+///
+/// Quantiles are conservative upper bounds: `quantile_upper(0.95) ==
+/// 2047` means "95% of observations were ≤ 2047".
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        let idx = 63 - (value | 1).leading_zeros() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of a bucket, reported as the conservative quantile
+    /// estimate.
+    pub fn bucket_upper(index: usize) -> u64 {
+        (1u64 << (index.min(BUCKETS - 1) + 1)) - 1
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (zero when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Conservative upper bound of the `q`-quantile (`0.0 ..= 1.0`) over
+    /// the current bucket counts. Zero when empty.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let buckets = self.bucket_counts();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(BUCKETS - 1)
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.bucket_counts(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// Name-keyed registry of counters, gauges and histograms.
+///
+/// Handles are `Arc`-shared: resolving the same name twice returns the
+/// same primitive, so concurrent updates from different call sites
+/// accumulate into one value.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+        {
+            return Arc::clone(c);
+        }
+        let mut map = self
+            .counters
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+        {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+        {
+            return Arc::clone(h);
+        }
+        let mut map = self
+            .histograms
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// A sorted snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A sorted point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` per histogram, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS - 1 {
+            assert!(Histogram::bucket_upper(i) < Histogram::bucket_upper(i + 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_upper_bounds() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 50, 100, 400, 900, 2_000, 9_000, 40_000, 100_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 100_000);
+        assert!(h.mean() > 0.0);
+        let p50 = h.quantile_upper(0.50);
+        let p95 = h.quantile_upper(0.95);
+        let p99 = h.quantile_upper(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 >= 100_000 >> 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_upper(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.record_max(3);
+        assert_eq!(c.get(), 5);
+        c.record_max(9);
+        assert_eq!(c.get(), 9);
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn registry_shares_handles_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        r.gauge("g").set(7.0);
+        r.histogram("h").observe(42);
+        assert_eq!(r.counter("a").get(), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a".to_string(), 5)]);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+}

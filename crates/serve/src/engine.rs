@@ -361,6 +361,7 @@ impl Drop for Engine {
 /// run the rest as one contiguous block, fan results back out.
 fn worker_loop(queue: &BoundedQueue, metrics: &ServeMetrics, max_batch: usize, linger: Duration) {
     while let Some(batch) = queue.pop_batch(max_batch, linger) {
+        let _batch_span = obs::span("serve.batch");
         let now = Instant::now();
         let mut live: Vec<PendingRequest> = Vec::with_capacity(batch.len());
         for request in batch {
@@ -386,6 +387,7 @@ fn worker_loop(queue: &BoundedQueue, metrics: &ServeMetrics, max_batch: usize, l
                 metrics.record_batch(batch_size);
                 let out_len = plan.output_len();
                 for (i, request) in live.into_iter().enumerate() {
+                    let _req_span = obs::span("serve.request");
                     let latency = request.enqueued.elapsed();
                     metrics.record_completed(latency);
                     request.slot.complete(Ok(Prediction {

@@ -22,9 +22,12 @@
 //!   back to back over one allocation. Per-sample arithmetic is
 //!   unchanged, so batched outputs are bit-identical to sequential
 //!   [`neural::Network::predict`].
-//! * [`ServeMetrics`] — atomic counters and a fixed-bucket latency
-//!   histogram (p50/p95/p99), snapshotted into a serializable
-//!   [`MetricsReport`].
+//! * [`ServeMetrics`] — atomic counters plus `obs` power-of-two
+//!   histograms for latency (p50/p95/p99) and batch sizes, snapshotted
+//!   into a serializable [`MetricsReport`]. The engine also emits
+//!   `serve.batch`/`serve.request` spans and a `serve.queue_depth` gauge
+//!   whenever an `obs::Collector` is installed (see the workspace `obs`
+//!   crate and `serve_load --trace`).
 //!
 //! # Example
 //!

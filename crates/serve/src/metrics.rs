@@ -1,61 +1,29 @@
-//! Serving metrics: atomic counters + a fixed-bucket latency histogram.
+//! Serving metrics, backed by the workspace `obs` primitives.
+//!
+//! [`ServeMetrics`] used to carry its own bespoke power-of-two latency
+//! histogram; it now composes `obs::{Counter, Gauge, Histogram}` so the
+//! serving layer shares one histogram implementation with the rest of
+//! the workspace. The report shape and arithmetic are unchanged —
+//! `BENCH_serve.json` output stays byte-identical across the migration.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use obs::{Counter, Gauge, Histogram};
 use serde::{Deserialize, Serialize};
-
-/// Number of power-of-two latency buckets. Bucket `i` covers
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-microsecond
-/// latencies), so 40 buckets span up to ~12 days — far beyond any
-/// deadline.
-const BUCKETS: usize = 40;
-
-fn bucket_index(micros: u64) -> usize {
-    let idx = 63 - (micros | 1).leading_zeros() as usize;
-    idx.min(BUCKETS - 1)
-}
-
-/// Upper bound (µs) of a bucket, reported as the conservative quantile
-/// estimate.
-fn bucket_upper_micros(index: usize) -> u64 {
-    (1u64 << (index + 1)) - 1
-}
 
 /// Live engine counters. All updates are single atomic operations — no
 /// lock sits on the request hot path. Snapshot with
 /// [`ServeMetrics::report`].
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ServeMetrics {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    timed_out: AtomicU64,
-    batches: AtomicU64,
-    batched_samples: AtomicU64,
-    queue_high_water: AtomicU64,
-    latency_sum_us: AtomicU64,
-    latency_max_us: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for ServeMetrics {
-    fn default() -> Self {
-        Self {
-            submitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_samples: AtomicU64::new(0),
-            queue_high_water: AtomicU64::new(0),
-            latency_sum_us: AtomicU64::new(0),
-            latency_max_us: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
+    submitted: Counter,
+    rejected: Counter,
+    failed: Counter,
+    timed_out: Counter,
+    queue_high_water: Counter,
+    queue_depth: Gauge,
+    batch_sizes: Histogram,
+    latency: Histogram,
 }
 
 impl ServeMetrics {
@@ -65,102 +33,83 @@ impl ServeMetrics {
     }
 
     pub(crate) fn record_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
     }
 
     pub(crate) fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
+        obs::counter_add("serve.rejected", 1);
     }
 
     pub(crate) fn record_failed(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.inc();
     }
 
     pub(crate) fn record_timed_out(&self) {
-        self.timed_out.fetch_add(1, Ordering::Relaxed);
+        self.timed_out.inc();
     }
 
     pub(crate) fn record_queue_depth(&self, depth: usize) {
-        self.queue_high_water
-            .fetch_max(depth as u64, Ordering::Relaxed);
+        self.queue_high_water.record_max(depth as u64);
+        self.queue_depth.set(depth as f64);
+        obs::gauge_set("serve.queue_depth", depth as f64);
     }
 
     pub(crate) fn record_batch(&self, samples: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_samples
-            .fetch_add(samples as u64, Ordering::Relaxed);
+        self.batch_sizes.observe(samples as u64);
     }
 
     pub(crate) fn record_completed(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
-        self.latency_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(us);
     }
 
     /// Requests accepted so far.
     pub fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.submitted.get()
     }
 
     /// Requests rejected with queue-full backpressure.
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.rejected.get()
     }
 
     /// Requests completed successfully.
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
+        self.latency.count()
+    }
+
+    /// Most recently observed queue depth.
+    pub fn queue_depth(&self) -> f64 {
+        self.queue_depth.get()
     }
 
     /// Snapshots every counter into a serializable report.
     pub fn report(&self) -> MetricsReport {
-        let buckets: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = buckets.iter().sum();
-        let quantile = |q: f64| -> u64 {
-            if total == 0 {
-                return 0;
-            }
-            let rank = (q * total as f64).ceil() as u64;
-            let mut seen = 0u64;
-            for (i, &count) in buckets.iter().enumerate() {
-                seen += count;
-                if seen >= rank {
-                    return bucket_upper_micros(i);
-                }
-            }
-            bucket_upper_micros(BUCKETS - 1)
-        };
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_samples = self.batched_samples.load(Ordering::Relaxed);
+        let completed = self.latency.count();
+        let batch = self.batch_sizes.snapshot();
         MetricsReport {
-            requests_submitted: self.submitted.load(Ordering::Relaxed),
-            requests_rejected: self.rejected.load(Ordering::Relaxed),
+            requests_submitted: self.submitted.get(),
+            requests_rejected: self.rejected.get(),
             requests_completed: completed,
-            requests_failed: self.failed.load(Ordering::Relaxed),
-            requests_timed_out: self.timed_out.load(Ordering::Relaxed),
-            batches,
-            mean_batch_size: if batches == 0 {
+            requests_failed: self.failed.get(),
+            requests_timed_out: self.timed_out.get(),
+            batches: batch.count,
+            mean_batch_size: if batch.count == 0 {
                 0.0
             } else {
-                batched_samples as f64 / batches as f64
+                batch.sum as f64 / batch.count as f64
             },
-            queue_depth_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            queue_depth_high_water: self.queue_high_water.get(),
             latency_mean_us: if completed == 0 {
                 0.0
             } else {
-                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
+                self.latency.sum() as f64 / completed as f64
             },
-            latency_p50_us: quantile(0.50),
-            latency_p95_us: quantile(0.95),
-            latency_p99_us: quantile(0.99),
-            latency_max_us: self.latency_max_us.load(Ordering::Relaxed),
+            latency_p50_us: self.latency.quantile_upper(0.50),
+            latency_p95_us: self.latency.quantile_upper(0.95),
+            latency_p99_us: self.latency.quantile_upper(0.99),
+            latency_max_us: self.latency.max(),
         }
     }
 }
@@ -206,15 +155,15 @@ mod tests {
 
     #[test]
     fn buckets_are_monotone_powers_of_two() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(2), 1);
-        assert_eq!(bucket_index(3), 1);
-        assert_eq!(bucket_index(4), 2);
-        assert_eq!(bucket_index(1024), 10);
-        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
-        for i in 0..BUCKETS - 1 {
-            assert!(bucket_upper_micros(i) < bucket_upper_micros(i + 1));
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), obs::BUCKETS - 1);
+        for i in 0..obs::BUCKETS - 1 {
+            assert!(Histogram::bucket_upper(i) < Histogram::bucket_upper(i + 1));
         }
     }
 
@@ -261,6 +210,7 @@ mod tests {
         assert_eq!(report.batches, 2);
         assert_eq!(report.mean_batch_size, 3.0);
         assert_eq!(report.queue_depth_high_water, 7);
+        assert_eq!(m.queue_depth(), 3.0);
     }
 
     #[test]
