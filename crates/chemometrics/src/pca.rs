@@ -76,9 +76,9 @@ impl Pca {
                 .max_by(|&a, &b| {
                     let va: f64 = x.iter().map(|r| r[a] * r[a]).sum();
                     let vb: f64 = x.iter().map(|r| r[b] * r[b]).sum();
-                    va.partial_cmp(&vb).expect("finite")
+                    va.total_cmp(&vb)
                 })
-                .expect("cols > 0");
+                .unwrap_or(0);
             let mut t: Vec<f64> = x.iter().map(|r| r[start_col]).collect();
             if norm(&t) < 1e-12 {
                 // Remaining variance is zero.

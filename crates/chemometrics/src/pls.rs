@@ -89,9 +89,9 @@ impl Pls {
                 .max_by(|&a, &b| {
                     let va: f64 = fy.iter().map(|r| r[a] * r[a]).sum();
                     let vb: f64 = fy.iter().map(|r| r[b] * r[b]).sum();
-                    va.partial_cmp(&vb).expect("finite")
+                    va.total_cmp(&vb)
                 })
-                .expect("y has columns");
+                .unwrap_or(0);
             let mut u: Vec<f64> = fy.iter().map(|r| r[start]).collect();
             if norm(&u) < 1e-12 {
                 break;

@@ -24,9 +24,17 @@ pub struct Suppression {
 /// Parsed `lint.toml`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintConfig {
-    /// Declared lock acquisition order for the `lock-order` rule: locks
+    /// Declared lock acquisition order for the `lock-graph` rule: locks
     /// earlier in the list must be acquired before locks later in it.
     pub lock_order: Vec<String>,
+    /// Whether `panic-reachability` counts slice/array indexing as a
+    /// panic source. Off by default: indexing is pervasive and mostly
+    /// guarded, so it is opt-in per workspace.
+    pub index_panics: bool,
+    /// Function-path prefixes (e.g. `neural::plan::FrozenPlan::predict`)
+    /// treated as hot by `alloc-in-hot-path`, in addition to any function
+    /// carrying a `// lint: hot` marker.
+    pub hot_paths: Vec<String>,
     /// Baseline suppressions.
     pub suppressions: Vec<Suppression>,
 }
@@ -53,12 +61,8 @@ impl LintConfig {
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut config = Self::default();
         let mut section = Section::None;
-        for (idx, raw) in text.lines().enumerate() {
-            let lineno = idx + 1;
-            let line = strip_comment(raw).trim();
-            if line.is_empty() {
-                continue;
-            }
+        for (lineno, line) in logical_lines(text) {
+            let line = line.as_str();
             if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
                 match header.trim() {
                     "suppress" => {
@@ -75,6 +79,14 @@ impl LintConfig {
                         flush(&mut section, &mut config, lineno)?;
                         section = Section::LockOrder;
                     }
+                    "panic-reachability" => {
+                        flush(&mut section, &mut config, lineno)?;
+                        section = Section::PanicReachability;
+                    }
+                    "alloc-hot-path" => {
+                        flush(&mut section, &mut config, lineno)?;
+                        section = Section::AllocHotPath;
+                    }
                     other => return Err(format!("line {lineno}: unknown section [{other}]")),
                 }
                 continue;
@@ -88,6 +100,15 @@ impl LintConfig {
                 (Section::LockOrder, "order") => {
                     config.lock_order = parse_string_array(value)
                         .ok_or_else(|| format!("line {lineno}: order must be a string array"))?;
+                }
+                (Section::PanicReachability, "index-panics") => {
+                    config.index_panics = parse_bool(value).ok_or_else(|| {
+                        format!("line {lineno}: index-panics must be true or false")
+                    })?;
+                }
+                (Section::AllocHotPath, "paths") => {
+                    config.hot_paths = parse_string_array(value)
+                        .ok_or_else(|| format!("line {lineno}: paths must be a string array"))?;
                 }
                 (Section::Suppress(partial), "rule") => {
                     partial.rule = Some(parse_string(value).ok_or_else(|| {
@@ -130,6 +151,8 @@ struct PartialSuppression {
 enum Section {
     None,
     LockOrder,
+    PanicReachability,
+    AllocHotPath,
     Suppress(PartialSuppression),
 }
 
@@ -150,6 +173,44 @@ fn flush(section: &mut Section, config: &mut LintConfig, lineno: usize) -> Resul
     Ok(())
 }
 
+/// Joins physical lines into logical ones: a `key = [` array may span
+/// multiple lines until its closing `]`. Comments are stripped and blank
+/// lines dropped; each logical line keeps the number of its first
+/// physical line for error messages.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let stripped = strip_comment(raw).trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if let Some((start, buffer)) = &mut pending {
+            buffer.push(' ');
+            buffer.push_str(stripped);
+            if stripped.contains(']') {
+                out.push((*start, buffer.clone()));
+                pending = None;
+            }
+            continue;
+        }
+        let opens_array = stripped
+            .split_once('=')
+            .is_some_and(|(_, v)| v.trim().starts_with('[') && !v.contains(']'));
+        if opens_array {
+            pending = Some((lineno, stripped.to_string()));
+        } else {
+            out.push((lineno, stripped.to_string()));
+        }
+    }
+    // An unterminated array still surfaces as a parse error downstream.
+    if let Some((start, buffer)) = pending {
+        out.push((start, buffer));
+    }
+    out
+}
+
 /// Drops a trailing `#` comment, honouring quotes.
 fn strip_comment(line: &str) -> &str {
     let mut in_str = false;
@@ -161,6 +222,14 @@ fn strip_comment(line: &str) -> &str {
         }
     }
     line
+}
+
+fn parse_bool(value: &str) -> Option<bool> {
+    match value {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
 }
 
 fn parse_string(value: &str) -> Option<String> {
@@ -212,6 +281,31 @@ reason = "slot invariants"
         assert_eq!(config.suppressions[0].line, Some(91));
         assert_eq!(config.suppressions[1].line, None);
         assert_eq!(config.suppressions[1].reason, "slot invariants");
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let text = "[alloc-hot-path]\npaths = [\n    \"a::b\", # inference\n    \"c::d\",\n]\n";
+        let config = LintConfig::parse(text).unwrap();
+        assert_eq!(config.hot_paths, ["a::b", "c::d"]);
+    }
+
+    #[test]
+    fn parses_graph_rule_sections() {
+        let text = r#"
+[panic-reachability]
+index-panics = true
+
+[alloc-hot-path]
+paths = ["neural::plan::FrozenPlan::predict", "serve::engine::worker_loop"]
+"#;
+        let config = LintConfig::parse(text).unwrap();
+        assert!(config.index_panics);
+        assert_eq!(
+            config.hot_paths,
+            ["neural::plan::FrozenPlan::predict", "serve::engine::worker_loop"]
+        );
+        assert!(LintConfig::parse("[panic-reachability]\nindex-panics = maybe\n").is_err());
     }
 
     #[test]

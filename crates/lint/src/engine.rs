@@ -1,11 +1,22 @@
 //! Workspace walking and rule running: files → findings → baselined report.
+//!
+//! Linting is two passes. Pass 1 runs per-file: lex, compute the test
+//! mask, run the lexical rules and parse items. Pass 2 runs once over the
+//! whole workspace: build the symbol table and call graph, then run the
+//! graph rules (`panic-reachability`, `lock-graph`, `alloc-in-hot-path`).
+//! Compat stand-in crates are lexed (for `forbid-unsafe-coverage`) but
+//! excluded from the symbol graph — they model external dependencies.
 
+use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::config::LintConfig;
-use crate::findings::{Finding, Report, StaleSuppression};
+use crate::findings::{Finding, GraphStats, Report, StaleSuppression};
+use crate::graph::{self, CallGraph};
 use crate::lexer;
+use crate::parser::{self, ParsedFile};
+use crate::resolve::SymbolTable;
 use crate::rules::{self, FileInput};
 
 /// Directory names never scanned: generated output, test trees (exempt
@@ -13,6 +24,16 @@ use crate::rules::{self, FileInput};
 const SKIP_DIRS: &[&str] = &[
     "target", "tests", "benches", "examples", "fixtures", ".git",
 ];
+
+/// The full outcome of a lint run: the baselined report plus the
+/// lock-graph DOT export for debugging deadlock findings.
+pub struct Analysis {
+    /// Baselined findings, stale suppressions and graph statistics.
+    pub report: Report,
+    /// GraphViz DOT rendering of the workspace lock graph, cycle edges
+    /// highlighted in red. Empty graph renders as a valid empty digraph.
+    pub lock_dot: String,
+}
 
 /// Lints every `.rs` file under `root/crates`, applying the baseline in
 /// `config`. Findings are sorted by path, line, rule; suppressions that
@@ -22,30 +43,97 @@ const SKIP_DIRS: &[&str] = &[
 ///
 /// Returns the first I/O error hit while walking or reading sources.
 pub fn run(root: &Path, config: &LintConfig) -> io::Result<Report> {
+    Ok(run_full(root, config)?.report)
+}
+
+/// Like [`run`], but also returns the lock-graph DOT export.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn run_full(root: &Path, config: &LintConfig) -> io::Result<Analysis> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         collect_rs_files(&crates_dir, &mut files)?;
     }
     files.sort();
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
-        lint_one(root, file, config, &mut findings)?;
+        let source = std::fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        sources.push((rel, source));
     }
+    Ok(analyze_sources(&sources, config))
+}
+
+/// Runs both passes over already-read sources (`(rel_path, source)`
+/// pairs, workspace-relative forward-slash paths). Fixture tests drive
+/// this directly to exercise the graph rules on synthetic workspaces.
+pub fn analyze_sources(sources: &[(String, String)], config: &LintConfig) -> Analysis {
+    let mut findings = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    for (rel, source) in sources {
+        let tokens = lexer::lex(source);
+        let mask = lexer::test_mask(&tokens);
+        let (crate_name, is_compat) = crate_of(rel);
+        let input = FileInput {
+            path: rel,
+            crate_name: &crate_name,
+            is_crate_root: is_crate_root(rel),
+            is_compat,
+            tokens: &tokens,
+            test_mask: &mask,
+        };
+        rules::check_file(&input, &mut findings);
+        if !is_compat && !crate_name.is_empty() {
+            parsed.push(parser::parse_file(rel, &crate_name, source, &tokens, &mask));
+        }
+    }
+
+    let table = SymbolTable::build(&parsed);
+    let call_graph = CallGraph::build(&table, &parsed);
+    let mut stats = GraphStats {
+        items: table.items.len(),
+        calls_resolved: call_graph.resolved,
+        calls_external: call_graph.external,
+        calls_unresolved: call_graph.unresolved,
+        ..GraphStats::default()
+    };
+    graph::panic_reachability(&table, &call_graph, config, &mut stats, &mut findings);
+    let lock_graph = graph::lock_graph(&table, &call_graph, config, &mut stats, &mut findings);
+    graph::alloc_in_hot_path(&table, config, &mut stats, &mut findings);
+
+    let cycle_edges: BTreeSet<(String, String)> = graph::find_cycles(&lock_graph)
+        .iter()
+        .flat_map(|cycle| {
+            cycle
+                .windows(2)
+                .map(|w| (w[0].clone(), w[1].clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let lock_dot = lock_graph.to_dot(&cycle_edges);
+
     findings.sort_by(|a, b| {
         (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule))
     });
-    Ok(apply_baseline(findings, config, files.len()))
+    let mut report = apply_baseline(findings, config, sources.len());
+    report.stats = stats;
+    Analysis { report, lock_dot }
 }
 
-/// Lints one already-read source text (fixture tests drive this
-/// directly). `rel_path` must be workspace-relative with forward slashes.
-pub fn lint_source(
-    rel_path: &str,
-    source: &str,
-    config: &LintConfig,
-    out: &mut Vec<Finding>,
-) {
+/// Runs the lexical rules over one already-read source text (fixture
+/// tests drive this directly). `rel_path` must be workspace-relative with
+/// forward slashes. Graph rules need the whole workspace — see
+/// [`analyze_sources`].
+pub fn lint_source(rel_path: &str, source: &str, out: &mut Vec<Finding>) {
     let tokens = lexer::lex(source);
     let mask = lexer::test_mask(&tokens);
     let (crate_name, is_compat) = crate_of(rel_path);
@@ -57,12 +145,18 @@ pub fn lint_source(
         tokens: &tokens,
         test_mask: &mask,
     };
-    rules::check_file(&input, config, out);
+    rules::check_file(&input, out);
 }
 
 /// Splits raw findings into active vs. baselined and detects stale
-/// suppressions.
+/// suppressions. Each stale line-specific suppression carries the nearest
+/// line where the same rule still fires in the same file (pre-baseline),
+/// so a drifted entry can be re-pinned rather than hunted down.
 pub fn apply_baseline(findings: Vec<Finding>, config: &LintConfig, files_scanned: usize) -> Report {
+    let raw: Vec<(String, String, usize)> = findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.path.clone(), f.line))
+        .collect();
     let mut used = vec![false; config.suppressions.len()];
     let mut active = Vec::new();
     let mut suppressed = 0usize;
@@ -85,10 +179,20 @@ pub fn apply_baseline(findings: Vec<Finding>, config: &LintConfig, files_scanned
         .iter()
         .zip(&used)
         .filter(|(_, &u)| !u)
-        .map(|(s, _)| StaleSuppression {
-            rule: s.rule.clone(),
-            path: s.path.clone(),
-            line: s.line.unwrap_or(0),
+        .map(|(s, _)| {
+            let nearest_line = s.line.map_or(0, |stale_line| {
+                raw.iter()
+                    .filter(|(rule, path, _)| rule == &s.rule && path == &s.path)
+                    .map(|(_, _, line)| *line)
+                    .min_by_key(|line| line.abs_diff(stale_line))
+                    .unwrap_or(0)
+            });
+            StaleSuppression {
+                rule: s.rule.clone(),
+                path: s.path.clone(),
+                line: s.line.unwrap_or(0),
+                nearest_line,
+            }
         })
         .collect();
     Report {
@@ -96,25 +200,8 @@ pub fn apply_baseline(findings: Vec<Finding>, config: &LintConfig, files_scanned
         suppressed,
         stale_suppressions,
         files_scanned,
+        stats: GraphStats::default(),
     }
-}
-
-fn lint_one(
-    root: &Path,
-    file: &Path,
-    config: &LintConfig,
-    out: &mut Vec<Finding>,
-) -> io::Result<()> {
-    let source = std::fs::read_to_string(file)?;
-    let rel = file
-        .strip_prefix(root)
-        .unwrap_or(file)
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/");
-    lint_source(&rel, &source, config, out);
-    Ok(())
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -183,7 +270,6 @@ mod tests {
             message: String::new(),
         };
         let config = LintConfig {
-            lock_order: Vec::new(),
             suppressions: vec![
                 Suppression {
                     rule: "no-float-eq".into(),
@@ -198,6 +284,7 @@ mod tests {
                     reason: "r".into(),
                 },
             ],
+            ..LintConfig::default()
         };
         let report = apply_baseline(vec![finding(3), finding(9)], &config, 1);
         assert_eq!(report.findings.len(), 1);
@@ -206,5 +293,31 @@ mod tests {
         // The y-crate suppression matched nothing.
         assert_eq!(report.stale_suppressions.len(), 1);
         assert_eq!(report.stale_suppressions[0].path, "crates/y/src/lib.rs");
+    }
+
+    #[test]
+    fn stale_line_suppression_hints_at_nearest_surviving_line() {
+        let finding = |line: usize| Finding {
+            rule: "no-unwrap-in-lib".into(),
+            severity: Severity::Error,
+            path: "crates/x/src/lib.rs".into(),
+            line,
+            message: String::new(),
+        };
+        let config = LintConfig {
+            suppressions: vec![Suppression {
+                rule: "no-unwrap-in-lib".into(),
+                path: "crates/x/src/lib.rs".into(),
+                line: Some(40),
+                reason: "drifted".into(),
+            }],
+            ..LintConfig::default()
+        };
+        let report = apply_baseline(vec![finding(12), finding(44)], &config, 1);
+        assert_eq!(report.stale_suppressions.len(), 1);
+        assert_eq!(report.stale_suppressions[0].nearest_line, 44);
+        let text = report.stale_suppressions[0].to_string();
+        assert!(text.contains("line 44"), "{text}");
+        assert!(text.contains("no-unwrap-in-lib"), "{text}");
     }
 }

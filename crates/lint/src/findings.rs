@@ -50,6 +50,66 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Size and resolution statistics for the workspace symbol graph,
+/// surfaced via `--stats` (and always embedded in the JSON report) so
+/// resolver regressions show up in CI logs as a shrinking resolved-call
+/// ratio.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Parsed (non-test) function items in the symbol table.
+    pub items: usize,
+    /// Call sites resolved to a workspace item (graph edges).
+    pub calls_resolved: usize,
+    /// Call sites classified as std/common-method external.
+    pub calls_external: usize,
+    /// Call sites the best-effort resolver gave up on.
+    pub calls_unresolved: usize,
+    /// Public entry points seeding `panic-reachability`.
+    pub entry_points: usize,
+    /// Reachable functions containing at least one panic source.
+    pub reachable_panic_fns: usize,
+    /// Distinct lock names in the lock graph.
+    pub lock_nodes: usize,
+    /// Distinct held→acquired edges in the lock graph.
+    pub lock_edges: usize,
+    /// Functions treated as hot by `alloc-in-hot-path`.
+    pub hot_fns: usize,
+}
+
+impl GraphStats {
+    /// Resolved-call ratio in percent (rounded down), over workspace-
+    /// resolvable calls only (external std calls are excluded from the
+    /// denominator — they are outside the graph by design).
+    pub fn resolved_pct(&self) -> usize {
+        let denominator = self.calls_resolved + self.calls_unresolved;
+        if denominator == 0 {
+            return 100;
+        }
+        self.calls_resolved * 100 / denominator
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "symbol graph: {} fn item(s); calls {} resolved / {} external / {} unresolved \
+             ({}% resolved of workspace-resolvable); {} entry point(s), {} reachable \
+             panicking fn(s); lock graph {} node(s) / {} edge(s); {} hot fn(s)",
+            self.items,
+            self.calls_resolved,
+            self.calls_external,
+            self.calls_unresolved,
+            self.resolved_pct(),
+            self.entry_points,
+            self.reachable_panic_fns,
+            self.lock_nodes,
+            self.lock_edges,
+            self.hot_fns,
+        )
+    }
+}
+
 /// The full result of a lint run, serializable for `--json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -58,10 +118,13 @@ pub struct Report {
     /// Findings matched and silenced by `lint.toml` suppressions.
     pub suppressed: usize,
     /// Suppressions in `lint.toml` that matched nothing — stale entries
-    /// that should be deleted (warned, never fails `--deny`).
+    /// that must be deleted (`--deny` fails on them, so the baseline can
+    /// only shrink).
     pub stale_suppressions: Vec<StaleSuppression>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Symbol-graph size and resolution statistics.
+    pub stats: GraphStats,
 }
 
 /// A `lint.toml` suppression that matched no finding.
@@ -73,18 +136,34 @@ pub struct StaleSuppression {
     pub path: String,
     /// The suppressed line, or 0 for a whole-file suppression.
     pub line: usize,
+    /// Nearest line in the same file where the same rule still fires
+    /// (pre-baseline), or 0 when the rule no longer fires in the file at
+    /// all — the hint for re-pinning a drifted line suppression.
+    pub nearest_line: usize,
 }
 
 impl fmt::Display for StaleSuppression {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line == 0 {
-            write!(f, "stale suppression: {} at {} matches nothing", self.rule, self.path)
+            write!(
+                f,
+                "stale suppression: [{}] at {} matches nothing",
+                self.rule, self.path
+            )?;
         } else {
             write!(
                 f,
-                "stale suppression: {} at {}:{} matches nothing",
+                "stale suppression: [{}] at {}:{} matches nothing",
                 self.rule, self.path, self.line
-            )
+            )?;
         }
+        if self.nearest_line != 0 {
+            write!(
+                f,
+                " (nearest surviving [{}] finding in this file is line {})",
+                self.rule, self.nearest_line
+            )?;
+        }
+        Ok(())
     }
 }

@@ -5,28 +5,43 @@
 //! and fault-tolerance layers only keep their promises if library code
 //! never panics and lock acquisition stays ordered. Clippy cannot see
 //! those project-specific invariants, so this crate implements them as a
-//! self-contained lint pass (DESIGN.md §9): a lightweight Rust lexer
-//! ([`lexer`]) plus a rule engine ([`rules`]) that walks every workspace
-//! `.rs` file and reports findings with file:line, rule id and severity,
-//! in human and JSON output.
+//! self-contained lint pass (DESIGN.md §9 and §11): a lightweight Rust
+//! lexer ([`lexer`]), an item parser ([`parser`]) that extracts
+//! `fn`/`impl`/`mod`/`use` items with per-body call, panic, allocation
+//! and lock events, a workspace symbol table with best-effort call
+//! resolution ([`resolve`]), and two rule layers — per-file lexical rules
+//! ([`rules`]) and whole-workspace graph rules ([`graph`]) — driven by
+//! the engine ([`engine`]) with findings in human and JSON output.
 //!
-//! The five rules:
+//! The lexical rules:
 //!
-//! * `no-unwrap-in-lib` — panic-freedom in `serve`, `neural`, `datastore`
-//!   and `core` non-test library code.
+//! * `no-unwrap-in-lib` — panic-freedom at the call-site level in the
+//!   panic-free crates' non-test library code.
 //! * `no-wallclock-nondeterminism` — no wall-clock reads or unseeded RNGs
-//!   in `ms-sim`, `nmr-sim`, `neural` and `chemometrics`.
+//!   in `ms-sim`, `nmr-sim`, `neural`, `chemometrics` and `obs`.
 //! * `no-float-eq` — no `==`/`!=` against float literals outside tests.
 //! * `forbid-unsafe-coverage` — every crate root carries
 //!   `#![forbid(unsafe_code)]`.
-//! * `lock-order` — nested `Mutex`/`RwLock` acquisitions in `crates/serve`
-//!   must follow the order declared in `lint.toml`.
+//!
+//! The graph rules (interprocedural, over the resolved call graph):
+//!
+//! * `panic-reachability` — flags functions reachable from public entry
+//!   points of the panic-free crates that can reach
+//!   `panic!`/`unwrap`/`expect` (and optionally indexing), reporting the
+//!   full entry-point→panic call chain.
+//! * `lock-graph` — builds the whole-workspace lock acquisition graph
+//!   (locks held while another is taken, including one level across
+//!   function calls), flags declared-order inversions, re-acquisitions
+//!   and cycles, and exports GraphViz DOT.
+//! * `alloc-in-hot-path` — flags allocation-family calls inside functions
+//!   marked `// lint: hot` or matching configured hot-path prefixes.
 //!
 //! Pre-existing findings are burned down deliberately through the
 //! checked-in baseline (`lint.toml`): every suppression names a rule, a
 //! path and a reason. `--deny` (the CI mode) fails on any non-baselined
-//! finding; suppressions that no longer match anything are reported as
-//! stale so the baseline can only shrink.
+//! finding **and** on any stale suppression, so the baseline can only
+//! shrink; stale entries carry a nearest-surviving-line hint for
+//! re-pinning drifted line suppressions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +49,12 @@
 pub mod config;
 pub mod engine;
 pub mod findings;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
 
 pub use config::{LintConfig, Suppression};
-pub use engine::{apply_baseline, lint_source, run};
-pub use findings::{Finding, Report, Severity, StaleSuppression};
+pub use engine::{analyze_sources, apply_baseline, lint_source, run, run_full, Analysis};
+pub use findings::{Finding, GraphStats, Report, Severity, StaleSuppression};

@@ -1,21 +1,24 @@
-//! spectro-lint CLI: `cargo run -p lint --release -- [--deny] [--json]`.
+//! spectro-lint CLI:
+//! `cargo run -p lint --release -- [--deny] [--json] [--stats] [--lock-dot PATH]`.
 //!
 //! Exit codes: 0 on success (or findings without `--deny`), 1 when
-//! `--deny` is set and non-baselined findings exist, 2 on usage/config/IO
-//! errors.
+//! `--deny` is set and non-baselined findings or stale suppressions
+//! exist, 2 on usage/config/IO errors.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lint::{LintConfig, Report};
+use lint::{Analysis, LintConfig, Report};
 
 struct Options {
     root: PathBuf,
     config: Option<PathBuf>,
     json: bool,
     deny: bool,
+    stats: bool,
+    lock_dot: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -24,12 +27,15 @@ fn parse_args() -> Result<Options, String> {
         config: None,
         json: false,
         deny: false,
+        stats: false,
+        lock_dot: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => options.deny = true,
             "--json" => options.json = true,
+            "--stats" => options.stats = true,
             "--root" => {
                 options.root = PathBuf::from(
                     args.next().ok_or_else(|| "--root needs a path".to_string())?,
@@ -40,14 +46,24 @@ fn parse_args() -> Result<Options, String> {
                     args.next().ok_or_else(|| "--config needs a path".to_string())?,
                 ));
             }
+            "--lock-dot" => {
+                options.lock_dot = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--lock-dot needs a path".to_string())?,
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "spectro-lint: workspace static analysis\n\n\
-                     USAGE: lint [--root PATH] [--config PATH] [--json] [--deny]\n\n\
-                     --root PATH    workspace root to scan (default: .)\n\
-                     --config PATH  lint.toml to use (default: <root>/lint.toml)\n\
-                     --json         machine-readable report on stdout\n\
-                     --deny         exit non-zero on any non-baselined finding (CI mode)"
+                     USAGE: lint [--root PATH] [--config PATH] [--json] [--deny] [--stats] \
+                     [--lock-dot PATH]\n\n\
+                     --root PATH      workspace root to scan (default: .)\n\
+                     --config PATH    lint.toml to use (default: <root>/lint.toml)\n\
+                     --json           machine-readable report on stdout\n\
+                     --deny           exit non-zero on any non-baselined finding or stale\n\
+                     \x20                suppression (CI mode)\n\
+                     --stats          print symbol-graph size and resolved-call ratio\n\
+                     --lock-dot PATH  write the lock acquisition graph as GraphViz DOT"
                 );
                 std::process::exit(0);
             }
@@ -57,12 +73,15 @@ fn parse_args() -> Result<Options, String> {
     Ok(options)
 }
 
-fn print_human(report: &Report, deny: bool) {
+fn print_human(report: &Report, options: &Options) {
     for finding in &report.findings {
         println!("{finding}");
     }
     for stale in &report.stale_suppressions {
-        println!("lint.toml: warning: {stale}");
+        println!("lint.toml: error: {stale}");
+    }
+    if options.stats {
+        println!("spectro-lint: {}", report.stats);
     }
     println!(
         "spectro-lint: {} file(s) scanned, {} finding(s), {} baselined, {} stale suppression(s)",
@@ -71,8 +90,11 @@ fn print_human(report: &Report, deny: bool) {
         report.suppressed,
         report.stale_suppressions.len()
     );
-    if deny && !report.findings.is_empty() {
-        println!("spectro-lint: failing (--deny): fix the findings or baseline them in lint.toml with a reason");
+    if options.deny && !(report.findings.is_empty() && report.stale_suppressions.is_empty()) {
+        println!(
+            "spectro-lint: failing (--deny): fix the findings or baseline them in lint.toml \
+             with a reason, and delete stale suppressions"
+        );
     }
 }
 
@@ -95,13 +117,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match lint::run(&options.root, &config) {
-        Ok(report) => report,
+    let Analysis { report, lock_dot } = match lint::run_full(&options.root, &config) {
+        Ok(analysis) => analysis,
         Err(error) => {
             eprintln!("spectro-lint: {error}");
             return ExitCode::from(2);
         }
     };
+    if let Some(dot_path) = &options.lock_dot {
+        if let Err(error) = std::fs::write(dot_path, &lock_dot) {
+            eprintln!("spectro-lint: writing {}: {error}", dot_path.display());
+            return ExitCode::from(2);
+        }
+    }
     if options.json {
         match serde_json::to_string_pretty(&report) {
             Ok(json) => println!("{json}"),
@@ -110,10 +138,13 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        if options.stats {
+            eprintln!("spectro-lint: {}", report.stats);
+        }
     } else {
-        print_human(&report, options.deny);
+        print_human(&report, &options);
     }
-    if options.deny && !report.findings.is_empty() {
+    if options.deny && !(report.findings.is_empty() && report.stale_suppressions.is_empty()) {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

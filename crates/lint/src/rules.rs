@@ -1,19 +1,26 @@
-//! The five spectro-lint rules, implemented over the token stream.
+//! The per-file (lexical) spectro-lint rules, implemented over the token
+//! stream.
 //!
 //! Every rule works on [`FileInput`]: the lexed tokens of one `.rs` file
 //! plus enough context (crate directory name, crate-root flag, test mask)
 //! to scope itself. Rules are deliberately lexical — no type information —
 //! so each one documents the heuristic it actually implements.
+//!
+//! The graph-based rules (`panic-reachability`, `lock-graph`,
+//! `alloc-in-hot-path`) live in [`crate::graph`]; they run over the whole
+//! workspace at once rather than file-by-file.
 
-use crate::config::LintConfig;
 use crate::findings::{Finding, Severity};
 use crate::lexer::{Token, TokenKind};
 
 /// Crates whose non-test library code must be panic-free
-/// (`no-unwrap-in-lib`): the serving path, the model runtime, persistence,
-/// the orchestration core and the observability layer (which instruments
-/// all of them and must never take a hot path down).
-pub const PANIC_FREE_CRATES: &[&str] = &["serve", "neural", "datastore", "core", "obs"];
+/// (`no-unwrap-in-lib` and `panic-reachability`): the serving path, the
+/// model runtime, persistence, the orchestration core, the observability
+/// layer (which instruments all of them and must never take a hot path
+/// down), and the chemometrics/chem analysis stack the paper's pipelines
+/// call from batch jobs.
+pub const PANIC_FREE_CRATES: &[&str] =
+    &["serve", "neural", "datastore", "core", "obs", "chemometrics", "chem"];
 
 /// Crates that must stay bit-deterministic (`no-wallclock-nondeterminism`):
 /// the synthetic-spectra simulators, everything that trains or augments
@@ -22,7 +29,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &["serve", "neural", "datastore", "core",
 /// suppression; everything else must take a `Clock`).
 pub const DETERMINISTIC_CRATES: &[&str] = &["ms-sim", "nmr-sim", "neural", "chemometrics", "obs"];
 
-/// The crates whose lock acquisitions the `lock-order` rule checks.
+/// The crates whose lock acquisitions the `lock-graph` rule checks.
 pub const LOCK_ORDER_CRATES: &[&str] = &["serve", "obs"];
 
 /// One file prepared for rule matching.
@@ -54,13 +61,12 @@ impl FileInput<'_> {
     }
 }
 
-/// Runs every rule over one file.
-pub fn check_file(file: &FileInput<'_>, config: &LintConfig, out: &mut Vec<Finding>) {
+/// Runs every lexical rule over one file.
+pub fn check_file(file: &FileInput<'_>, out: &mut Vec<Finding>) {
     no_unwrap_in_lib(file, out);
     no_wallclock_nondeterminism(file, out);
     no_float_eq(file, out);
     forbid_unsafe_coverage(file, out);
-    lock_order(file, config, out);
 }
 
 fn prev_is(tokens: &[Token], i: usize, c: char) -> bool {
@@ -228,140 +234,3 @@ fn forbid_unsafe_coverage(file: &FileInput<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// `lock-order`: flags nested lock acquisitions in the lock-ordered
-/// crates ([`LOCK_ORDER_CRATES`]) that invert the order declared in
-/// `lint.toml`'s `[lock-order]` table (and re-acquisitions of a lock
-/// already held, which self-deadlock under `parking_lot`).
-///
-/// Heuristic, intra-function only: an acquisition is `<recv>.lock()`,
-/// `.read()` or `.write()` whose receiver's final field name appears in
-/// the order table. A `let`-bound guard is considered held until its
-/// enclosing block closes or it is explicitly `drop(..)`ed; un-bound
-/// (temporary) guards live only for their own statement. Acquisitions
-/// reached through function calls are out of scope — keep lock use
-/// syntactically local, which is good style under this rule anyway.
-fn lock_order(file: &FileInput<'_>, config: &LintConfig, out: &mut Vec<Finding>) {
-    if !LOCK_ORDER_CRATES.contains(&file.crate_name) || config.lock_order.is_empty() {
-        return;
-    }
-    let rank_of = |name: &str| config.lock_order.iter().position(|l| l == name);
-    let tokens = file.tokens;
-
-    struct Held {
-        binding: String,
-        lock: String,
-        rank: usize,
-        depth: usize,
-        line: usize,
-    }
-    let mut held: Vec<Held> = Vec::new();
-    let mut depth = 0usize;
-
-    for (i, token) in tokens.iter().enumerate() {
-        if token.is_punct('{') {
-            depth += 1;
-            continue;
-        }
-        if token.is_punct('}') {
-            depth = depth.saturating_sub(1);
-            held.retain(|h| h.depth <= depth);
-            continue;
-        }
-        if file.test_mask[i] {
-            continue;
-        }
-        // drop(guard) releases a held lock early.
-        if token.is_ident("drop")
-            && next_is(tokens, i, '(')
-            && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
-            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
-        {
-            let name = &tokens[i + 2].text;
-            held.retain(|h| &h.binding != name);
-            continue;
-        }
-        // Acquisition: field `.lock()` / `.read()` / `.write()`.
-        let is_acquire = matches!(token.text.as_str(), "lock" | "read" | "write")
-            && token.kind == TokenKind::Ident
-            && prev_is(tokens, i, '.')
-            && next_is(tokens, i, '(')
-            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'));
-        if !is_acquire {
-            continue;
-        }
-        let Some(field) = i.checked_sub(2).map(|j| &tokens[j]).filter(|t| t.kind == TokenKind::Ident)
-        else {
-            continue;
-        };
-        let Some(rank) = rank_of(&field.text) else {
-            continue;
-        };
-        for h in &held {
-            if h.lock == field.text {
-                out.push(file.finding(
-                    "lock-order",
-                    Severity::Error,
-                    token.line,
-                    format!(
-                        "re-acquiring `{}` while the guard from line {} is still held \
-                         (parking_lot locks are not reentrant)",
-                        field.text, h.line
-                    ),
-                ));
-            } else if h.rank > rank {
-                out.push(file.finding(
-                    "lock-order",
-                    Severity::Error,
-                    token.line,
-                    format!(
-                        "acquiring `{}` while holding `{}` inverts the declared order [{}]",
-                        field.text,
-                        h.lock,
-                        config.lock_order.join(" < ")
-                    ),
-                ));
-            }
-        }
-        if let Some(binding) = let_binding_for(tokens, i) {
-            held.push(Held {
-                binding,
-                lock: field.text.clone(),
-                rank,
-                depth,
-                line: token.line,
-            });
-        }
-    }
-}
-
-/// If the acquisition at `lock_idx` (`... field . lock ( )`) is the value
-/// of a `let` statement, returns the bound name: walks the receiver chain
-/// backwards and matches `let [mut] NAME =`.
-fn let_binding_for(tokens: &[Token], lock_idx: usize) -> Option<String> {
-    // Step back over the receiver chain: idents, `.` and `::`.
-    let mut j = lock_idx.checked_sub(2)?;
-    loop {
-        let t = &tokens[j];
-        let part_of_chain = t.kind == TokenKind::Ident || t.is_punct('.') || t.is_punct(':');
-        if !part_of_chain || j == 0 {
-            break;
-        }
-        j -= 1;
-    }
-    // Expect `= ` just after the statement head; `j` now sits on `=`.
-    if !tokens[j].is_punct('=') || (j > 0 && tokens[j - 1].is_punct('=')) {
-        return None;
-    }
-    let mut k = j.checked_sub(1)?;
-    let name = if tokens[k].kind == TokenKind::Ident && !tokens[k].is_ident("mut") {
-        let n = tokens[k].text.clone();
-        k = k.checked_sub(1)?;
-        n
-    } else {
-        return None;
-    };
-    if tokens[k].is_ident("mut") {
-        k = k.checked_sub(1)?;
-    }
-    tokens[k].is_ident("let").then_some(name)
-}

@@ -1,0 +1,14 @@
+//! Cross-function cycle fixture, first half: `forward` holds `models`
+//! and calls a helper that takes `state`. On its own this is in declared
+//! order — the cycle only appears against `lock_cycle_b.rs`.
+
+pub fn forward(queue: &Queue, registry: &Registry) {
+    let guard = registry.models.read();
+    take_state(queue);
+    drop(guard);
+}
+
+fn take_state(queue: &Queue) {
+    let st = queue.state.lock();
+    drop(st);
+}

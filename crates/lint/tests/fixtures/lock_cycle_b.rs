@@ -1,0 +1,15 @@
+//! Cross-function cycle fixture, second half: `backward` holds `state`
+//! and calls a helper that takes `models` — closing the cycle with
+//! `lock_cycle_a.rs`. Each function alone acquires a single lock, so the
+//! old per-file lexical rule saw nothing here.
+
+pub fn backward(queue: &Queue, registry: &Registry) {
+    let guard = queue.state.lock();
+    take_models(registry);
+    drop(guard);
+}
+
+fn take_models(registry: &Registry) {
+    let m = registry.models.read();
+    drop(m);
+}

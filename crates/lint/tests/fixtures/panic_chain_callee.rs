@@ -1,0 +1,16 @@
+//! Known-bad fixture (callee side): the crate-private plan code panics
+//! in library code, two frames below the public serve entry point.
+
+pub struct FrozenPlan {
+    pub(crate) weights: Vec<f32>,
+}
+
+impl FrozenPlan {
+    pub(crate) fn predict_one(&self) -> f32 {
+        first_weight(self)
+    }
+}
+
+fn first_weight(plan: &FrozenPlan) -> f32 {
+    plan.weights.first().copied().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture (entry side): a public serve entry point that
+//! reaches a panic three calls away, crossing into another crate.
+
+use neural::plan::FrozenPlan;
+
+pub fn handle(plan: &FrozenPlan) -> f32 {
+    score(plan)
+}
+
+fn score(plan: &FrozenPlan) -> f32 {
+    plan.predict_one()
+}

@@ -1,0 +1,16 @@
+//! Known-good fixture: the same call shape as the bad pair, but the
+//! bottom frame is total — nothing reachable panics.
+
+pub struct FrozenPlan {
+    pub(crate) weights: Vec<f32>,
+}
+
+impl FrozenPlan {
+    pub(crate) fn predict_one(&self) -> f32 {
+        first_weight(self)
+    }
+}
+
+fn first_weight(plan: &FrozenPlan) -> f32 {
+    plan.weights.first().copied().unwrap_or(0.0)
+}

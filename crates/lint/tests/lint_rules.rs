@@ -1,5 +1,7 @@
-//! Fixture tests: every rule against a known-bad and a known-good
-//! snippet, suppression/baseline behaviour, and JSON round-tripping.
+//! Fixture tests for the lexical rules: every rule against a known-bad
+//! and a known-good snippet, suppression/baseline behaviour, and JSON
+//! round-tripping. The graph rules have their own suite in
+//! `graph_rules.rs`.
 //!
 //! Fixtures live under `tests/fixtures/` (the workspace walker skips
 //! `tests/` trees, so they never pollute a real `lint` run) and are fed
@@ -10,20 +12,9 @@ use lint::config::LintConfig;
 use lint::engine::{apply_baseline, lint_source};
 use lint::findings::{Finding, Report, Severity};
 
-/// The workspace lock order, as a parsed config.
-fn config() -> LintConfig {
-    LintConfig::parse(
-        r#"
-[lock-order]
-order = ["models", "state", "result"]
-"#,
-    )
-    .expect("fixture config parses")
-}
-
 fn findings_for(rel_path: &str, source: &str) -> Vec<Finding> {
     let mut out = Vec::new();
-    lint_source(rel_path, source, &config(), &mut out);
+    lint_source(rel_path, source, &mut out);
     out
 }
 
@@ -51,6 +42,21 @@ fn no_unwrap_good_fixture_is_clean() {
         include_str!("fixtures/no_unwrap_good.rs"),
     );
     assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+#[test]
+fn no_unwrap_applies_to_chemometrics_and_chem() {
+    for krate in ["chemometrics", "chem"] {
+        let findings = findings_for(
+            &format!("crates/{krate}/src/payload.rs"),
+            include_str!("fixtures/no_unwrap_bad.rs"),
+        );
+        assert_eq!(
+            rule_counts(&findings, "no-unwrap-in-lib"),
+            4,
+            "{krate}: {findings:?}"
+        );
+    }
 }
 
 #[test]
@@ -140,49 +146,9 @@ fn forbid_unsafe_only_applies_to_crate_roots() {
 }
 
 #[test]
-fn lock_order_bad_fixture_flags_inversion_and_reacquisition() {
-    let findings = findings_for(
-        "crates/serve/src/paths.rs",
-        include_str!("fixtures/lock_order_bad.rs"),
-    );
-    assert_eq!(rule_counts(&findings, "lock-order"), 2, "findings: {findings:?}");
-    let inversion = findings
-        .iter()
-        .find(|f| f.message.contains("inverts the declared order"))
-        .expect("inversion finding");
-    assert_eq!(inversion.line, 6);
-    let reacquire = findings
-        .iter()
-        .find(|f| f.message.contains("re-acquiring"))
-        .expect("re-acquisition finding");
-    assert_eq!(reacquire.line, 13);
-}
-
-#[test]
-fn lock_order_good_fixture_is_clean() {
-    let findings = findings_for(
-        "crates/serve/src/paths.rs",
-        include_str!("fixtures/lock_order_good.rs"),
-    );
-    assert!(findings.is_empty(), "findings: {findings:?}");
-}
-
-#[test]
-fn lock_order_does_not_apply_outside_serve() {
-    let findings = findings_for(
-        "crates/datastore/src/paths.rs",
-        include_str!("fixtures/lock_order_bad.rs"),
-    );
-    assert_eq!(rule_counts(&findings, "lock-order"), 0);
-}
-
-#[test]
 fn baseline_suppresses_matches_and_reports_stale_entries() {
     let config = LintConfig::parse(
         r#"
-[lock-order]
-order = ["models", "state", "result"]
-
 [[suppress]]
 rule = "no-float-eq"
 path = "crates/spectrum/src/guards.rs"
@@ -201,7 +167,6 @@ reason = "fixture: refers to a file that no longer exists"
     lint_source(
         "crates/spectrum/src/guards.rs",
         include_str!("fixtures/float_eq_bad.rs"),
-        &config,
         &mut findings,
     );
     let report = apply_baseline(findings, &config, 1);
@@ -217,6 +182,37 @@ reason = "fixture: refers to a file that no longer exists"
         report.stale_suppressions[0].path,
         "crates/serve/src/deleted_file.rs"
     );
+    // Whole-file stale entries have no surviving-line hint.
+    assert_eq!(report.stale_suppressions[0].nearest_line, 0);
+}
+
+#[test]
+fn stale_line_suppression_reports_rule_and_nearest_line() {
+    let config = LintConfig::parse(
+        r#"
+[[suppress]]
+rule = "no-float-eq"
+path = "crates/spectrum/src/guards.rs"
+line = 6  # drifted: the real findings are on lines 4 and 8
+reason = "fixture: drifted line suppression"
+"#,
+    )
+    .expect("config parses");
+    let mut findings = Vec::new();
+    lint_source(
+        "crates/spectrum/src/guards.rs",
+        include_str!("fixtures/float_eq_bad.rs"),
+        &mut findings,
+    );
+    let report = apply_baseline(findings, &config, 1);
+    assert_eq!(report.findings.len(), 2, "nothing matched the drifted line");
+    assert_eq!(report.stale_suppressions.len(), 1);
+    let stale = &report.stale_suppressions[0];
+    assert_eq!(stale.line, 6);
+    assert_eq!(stale.nearest_line, 4, "4 and 8 tie-break to the earlier line");
+    let text = stale.to_string();
+    assert!(text.contains("[no-float-eq]"), "{text}");
+    assert!(text.contains("line 4"), "{text}");
 }
 
 #[test]
@@ -234,7 +230,6 @@ reason = "fixture: whole-file baseline"
     lint_source(
         "crates/spectrum/src/guards.rs",
         include_str!("fixtures/float_eq_bad.rs"),
-        &config,
         &mut findings,
     );
     let report = apply_baseline(findings, &config, 1);
@@ -249,10 +244,9 @@ fn report_round_trips_through_serde_json() {
     lint_source(
         "crates/serve/src/payload.rs",
         include_str!("fixtures/no_unwrap_bad.rs"),
-        &config(),
         &mut findings,
     );
-    let report = apply_baseline(findings, &config(), 1);
+    let report = apply_baseline(findings, &LintConfig::default(), 1);
     assert!(!report.findings.is_empty());
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -1,0 +1,59 @@
+//! Self-lint: the shipped `lint.toml` keeps the real workspace clean.
+//!
+//! This is the executable form of the CI gate: zero non-baselined
+//! findings, zero stale suppressions, every suppression carrying a
+//! reason, and a sane symbol graph (the resolver actually resolved
+//! something, the lock graph is non-trivial, the DOT export is valid).
+
+use std::path::Path;
+
+use lint::LintConfig;
+
+#[test]
+fn workspace_passes_spectro_lint_with_the_shipped_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config_path = root.join("lint.toml");
+    let config = LintConfig::load(&config_path).expect("lint.toml parses");
+    assert!(
+        !config.suppressions.is_empty(),
+        "the shipped baseline is expected to carry suppressions"
+    );
+    assert!(
+        config.suppressions.iter().all(|s| !s.reason.trim().is_empty()),
+        "every suppression must carry a reason"
+    );
+
+    let analysis = lint::run_full(&root, &config).expect("workspace scan succeeds");
+    let report = &analysis.report;
+    assert!(
+        report.findings.is_empty(),
+        "non-baselined findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_suppressions.is_empty(),
+        "stale suppressions:\n{}",
+        report
+            .stale_suppressions
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "workspace walk looks truncated");
+
+    let stats = &report.stats;
+    assert!(stats.items > 100, "symbol table too small: {stats}");
+    assert!(stats.calls_resolved > 100, "resolver resolved too little: {stats}");
+    assert!(stats.entry_points > 50, "entry-point detection broke: {stats}");
+    assert!(stats.lock_nodes > 0 && stats.lock_edges > 0, "lock graph empty: {stats}");
+
+    let dot = &analysis.lock_dot;
+    assert!(dot.starts_with("digraph lock_graph {"), "{dot}");
+    assert!(dot.trim_end().ends_with('}'), "{dot}");
+}

@@ -196,8 +196,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SpectrumError> {
         // Partial pivot.
         let (pivot_row, pivot_val) = (col..n)
             .map(|r| (r, m.get(r, col).abs()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("non-empty range");
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((col, 0.0));
         if pivot_val < 1e-12 {
             return Err(SpectrumError::Singular);
         }

@@ -104,7 +104,7 @@ impl LineSpectrum {
         self.sticks
             .iter()
             .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite intensities"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Intensity at exactly `position` (within `1e-9`), or zero.
