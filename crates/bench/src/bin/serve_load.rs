@@ -12,26 +12,49 @@
 //! assertion (shared runners have unpredictable scheduling); the default
 //! and `SPECTROAI_FULL=1` scales assert that the engine beats the
 //! sequential baseline.
+//!
+//! `--shards N` serves through the sharded `serve::Router` (supervisor,
+//! admission control, failover) instead of one bare engine; `--chaos`
+//! additionally injects a worker panic and a batch stall mid-run via
+//! `faultsim` and asserts the tier loses no request: the supervisor
+//! fails the shard over, restarts it, and every submission reaches a
+//! terminal outcome (conservation). The JSON gains the per-shard and
+//! failover counters.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::{banner, pick, write_csv, TraceSession};
 use datastore::Store;
+use faultsim::FaultPlan;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serve::{Engine, ModelRegistry, Request, RetryPolicy, ServeConfig, Ticket};
+use serve::{
+    Engine, ModelRegistry, Request, RetryPolicy, Router, RouterConfig, ServeConfig,
+    SupervisorConfig, Ticket,
+};
 use spectroai::pipeline::deploy::deploy_network;
 use spectroai::pipeline::ms::{ActivationChoice, MsPipeline};
 
 const INPUT_LEN: usize = 397;
 const OUTPUTS: usize = 8;
 
+/// `--shards N` from argv, if present.
+fn shards_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    let shards = shards_arg().or(if chaos { Some(4) } else { None });
     banner(
         "serve_load — batched inference serving on the Table-1 MS network",
         "paper §III.A.2 Table 1 (deployed via Tool 4)",
@@ -90,42 +113,26 @@ fn main() {
     // run (spans + queue-depth gauge from the engine's obs hooks).
     let trace = TraceSession::from_args();
 
-    // Batched multi-worker serving of the same stream.
-    let engine = Engine::start(Arc::clone(&registry), config.clone()).expect("start serve engine");
+    // Batched multi-worker serving of the same stream — one bare engine
+    // by default, the supervised sharded tier with `--shards`.
     let retry = RetryPolicy {
         max_attempts: 64,
         base_delay_ms: 1,
         backoff: 1.5,
     };
-    let started = Instant::now();
-    let tickets: Vec<Ticket> = inputs
-        .iter()
-        .map(|x| {
-            engine
-                .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
-                .expect("submission should succeed within the retry budget")
-        })
-        .collect();
-    let mut mismatches = 0usize;
-    let mut max_batch_seen = 0usize;
-    for (ticket, want) in tickets.into_iter().zip(&expected) {
-        let prediction = ticket.wait().expect("request should complete");
-        if &prediction.output != want {
-            mismatches += 1;
-        }
-        max_batch_seen = max_batch_seen.max(prediction.batch_size);
-    }
-    let served_seconds = started.elapsed().as_secs_f64();
-    let served_rps = n_requests as f64 / served_seconds;
-    let report = engine.metrics().report();
-    let high_water = engine.queue_high_water();
-    engine.shutdown();
+    let outcome = match shards {
+        Some(n) => serve_sharded(&registry, &inputs, &expected, &config, n, chaos, retry),
+        None => serve_single(&registry, &inputs, &expected, &config, retry),
+    };
     if let Some(trace_path) = trace.finish() {
         validate_trace(&trace_path);
     }
+    let served_seconds = outcome.served_seconds;
+    let served_rps = n_requests as f64 / served_seconds;
+    let report = outcome.report;
 
     assert_eq!(
-        mismatches, 0,
+        outcome.mismatches, 0,
         "batched serving must be bit-identical to sequential Network::predict"
     );
     let speedup = served_rps / sequential_rps;
@@ -135,8 +142,8 @@ fn main() {
         speedup
     );
     println!(
-        "batching:   {} batches, mean size {:.2}, largest {max_batch_seen}, queue high-water {high_water}",
-        report.batches, report.mean_batch_size
+        "batching:   {} batches, mean size {:.2}, largest {}, queue high-water {}",
+        report.batches, report.mean_batch_size, outcome.max_batch_seen, report.queue_depth_high_water
     );
     println!(
         "latency:    mean {:.0}us  p50<={}us  p95<={}us  p99<={}us  max {}us",
@@ -146,7 +153,41 @@ fn main() {
         report.latency_p99_us,
         report.latency_max_us
     );
-    if !smoke {
+    if let Some(router) = &outcome.router {
+        println!(
+            "tier:       {} shards, {} failovers, {} restarts, {} re-routed, {} shed, {} crash-resolved",
+            router.shards.len(),
+            router.failovers,
+            router.restarts,
+            router.rerouted,
+            router.shed,
+            outcome.crashed,
+        );
+    }
+    if chaos {
+        // The chaos acceptance gates: zero lost requests (conservation),
+        // the supervisor actually failed over and restarted the shard,
+        // and the log-linear histogram resolves the tail (p50 < p99).
+        let router = outcome.router.as_ref().expect("--chaos implies shards");
+        let terminal = report.requests_completed
+            + report.requests_failed
+            + report.requests_timed_out
+            + report.requests_drained;
+        assert_eq!(
+            report.requests_submitted, terminal,
+            "conservation violated under chaos: {report:?}"
+        );
+        assert!(router.failovers >= 1, "chaos run must fail over: {router:?}");
+        assert!(router.restarts >= 1, "failed shard must restart: {router:?}");
+        assert!(
+            report.latency_p50_us < report.latency_p99_us,
+            "latency histogram saturated: p50 {} == p99 {}",
+            report.latency_p50_us,
+            report.latency_p99_us
+        );
+        println!("chaos:      conservation holds ({terminal}/{} terminal)", report.requests_submitted);
+    }
+    if !smoke && !chaos {
         assert!(
             speedup > 1.0,
             "multi-worker batched serving should beat the sequential baseline \
@@ -168,9 +209,18 @@ fn main() {
         fit.modelled_seconds, fit.measured_seconds, device.name, fit.ratio
     );
 
+    let router_json = match &outcome.router {
+        Some(router) => serde_json::to_value(router).expect("serialize router report"),
+        None => serde_json::Value::Null,
+    };
     let json = serde_json::json!({
         "bench": "serve_load",
         "smoke": smoke,
+        "shards": shards,
+        "chaos": chaos,
+        "failovers": outcome.router.as_ref().map_or(0, |r| r.failovers),
+        "restarts": outcome.router.as_ref().map_or(0, |r| r.restarts),
+        "router": router_json,
         "model": "table1-ms",
         "input_len": INPUT_LEN,
         "outputs": OUTPUTS,
@@ -206,6 +256,152 @@ fn main() {
         )],
     );
     println!("wrote {}", csv.display());
+}
+
+/// What one serving run produced, regardless of which tier served it.
+struct RunOutcome {
+    served_seconds: f64,
+    report: serve::MetricsReport,
+    max_batch_seen: usize,
+    mismatches: usize,
+    /// Requests resolved with `WorkerCrashed` (chaos runs only).
+    crashed: usize,
+    router: Option<serve::RouterReport>,
+}
+
+/// The original single-engine path: one `Engine`, no supervision.
+fn serve_single(
+    registry: &Arc<ModelRegistry>,
+    inputs: &[Vec<f32>],
+    expected: &[Vec<f32>],
+    config: &ServeConfig,
+    retry: RetryPolicy,
+) -> RunOutcome {
+    let engine = Engine::start(Arc::clone(registry), config.clone()).expect("start serve engine");
+    let started = Instant::now();
+    let tickets: Vec<Ticket> = inputs
+        .iter()
+        .map(|x| {
+            engine
+                .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
+                .expect("submission should succeed within the retry budget")
+        })
+        .collect();
+    let mut mismatches = 0usize;
+    let mut max_batch_seen = 0usize;
+    for (ticket, want) in tickets.into_iter().zip(expected) {
+        let prediction = ticket.wait().expect("request should complete");
+        if &prediction.output != want {
+            mismatches += 1;
+        }
+        max_batch_seen = max_batch_seen.max(prediction.batch_size);
+    }
+    let served_seconds = started.elapsed().as_secs_f64();
+    let report = engine.metrics().report();
+    engine.shutdown();
+    RunOutcome {
+        served_seconds,
+        report,
+        max_batch_seen,
+        mismatches,
+        crashed: 0,
+        router: None,
+    }
+}
+
+/// The sharded tier: N supervised shards behind the `Router`. With
+/// `chaos`, a deterministic fault plan panics a worker in shard 0 and
+/// stalls a batch in shard 1 mid-run; the supervisor must fail both
+/// shards over and restart them while every ticket still resolves.
+fn serve_sharded(
+    registry: &Arc<ModelRegistry>,
+    inputs: &[Vec<f32>],
+    expected: &[Vec<f32>],
+    config: &ServeConfig,
+    shards: usize,
+    chaos: bool,
+    retry: RetryPolicy,
+) -> RunOutcome {
+    let router_config = RouterConfig {
+        shards,
+        engine: config.clone(),
+        supervisor: SupervisorConfig {
+            tick: Duration::from_millis(10),
+            // Wide enough that a slow-but-honest batch on a loaded CI
+            // runner is not mistaken for a wedge; the injected stall
+            // (800ms) still trips it decisively.
+            stall_deadline: Duration::from_millis(250),
+            restart_backoff_base: Duration::from_millis(20),
+            max_restart_backoff: Duration::from_millis(200),
+            ..SupervisorConfig::default()
+        },
+        ..RouterConfig::default()
+    };
+    let faults = chaos.then(|| {
+        let mut plan = FaultPlan::new().with_worker_panic(0, 1);
+        if shards > 1 {
+            plan = plan.with_stall_batch(1, 1, 800);
+        }
+        Arc::new(plan)
+    });
+    let router = Router::start_with_faults(Arc::clone(registry), router_config, faults)
+        .expect("start sharded router");
+
+    let started = Instant::now();
+    let tickets: Vec<Ticket> = inputs
+        .iter()
+        .map(|x| {
+            router
+                .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
+                .expect("submission should succeed within the retry budget")
+        })
+        .collect();
+    let mut mismatches = 0usize;
+    let mut max_batch_seen = 0usize;
+    let mut crashed = 0usize;
+    for (ticket, want) in tickets.into_iter().zip(expected) {
+        match ticket.wait() {
+            Ok(prediction) => {
+                if &prediction.output != want {
+                    mismatches += 1;
+                }
+                max_batch_seen = max_batch_seen.max(prediction.batch_size);
+            }
+            Err(serve::ServeError::WorkerCrashed) if chaos => crashed += 1,
+            Err(err) => panic!("request must not fail outside injected faults: {err}"),
+        }
+    }
+    let served_seconds = started.elapsed().as_secs_f64();
+
+    // Let the tier quiesce (detached stalled workers finish late, the
+    // supervisor restarts failed shards) before taking the final report.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let report = router.report();
+        let total = &report.total;
+        let terminal = total.requests_completed
+            + total.requests_failed
+            + total.requests_timed_out
+            + total.requests_drained;
+        let quiesced = terminal == total.requests_submitted
+            && (!chaos || (report.failovers >= 1 && report.restarts >= 1));
+        if quiesced || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let report = router.report();
+    let total = report.total.clone();
+    router.shutdown();
+    RunOutcome {
+        served_seconds,
+        report: total,
+        max_batch_seen,
+        mismatches,
+        crashed,
+        router: Some(report),
+    }
 }
 
 fn repo_root() -> PathBuf {

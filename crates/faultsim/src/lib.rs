@@ -18,6 +18,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// A fault that a [`FaultPlan`] actually delivered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +42,68 @@ pub enum FaultEvent {
         /// Zero-based index of the torn write.
         write_index: u64,
     },
+    /// A serving worker was made to panic mid-loop.
+    WorkerPanic {
+        /// Shard whose worker panicked.
+        shard: usize,
+    },
+    /// A serving batch was stalled (worker slept past its deadline).
+    StallBatch {
+        /// Shard whose batch stalled.
+        shard: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// A registry load (or upgrade publish) was made to fail.
+    RegistryLoadError {
+        /// Zero-based index of the failed load in plan-lifetime order.
+        load_index: u64,
+    },
+    /// A serving batch was slowed by a multiplicative factor.
+    SlowPredict {
+        /// Shard whose batch was slowed.
+        shard: usize,
+        /// Slowdown factor in percent (250 = 2.5× the measured compute).
+        factor_pct: u32,
+    },
+}
+
+/// A serve-side fault the engine's worker loop must apply to the batch it
+/// is about to execute. Returned by [`FaultPlan::batch_fault`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeFault {
+    /// Panic the worker thread (the supervisor must restart the shard).
+    Panic,
+    /// Sleep this long before executing the batch (stall detection).
+    Stall(Duration),
+    /// Multiply the batch's compute time by this factor (slow shard).
+    Slow(f64),
+}
+
+impl ServeFault {
+    /// Applies the pre-execution half of the fault: panics the calling
+    /// thread for [`ServeFault::Panic`], sleeps for [`ServeFault::Stall`],
+    /// and does nothing for [`ServeFault::Slow`] (the caller applies the
+    /// factor after measuring its compute time via [`ServeFault::slow_factor`]).
+    ///
+    /// Living here keeps the deliberate chaos `panic!` out of the
+    /// panic-free serving crate — the lint baseline points at this one
+    /// site instead.
+    pub fn apply_pre(&self) {
+        match self {
+            ServeFault::Panic => panic!("faultsim: injected serve worker panic"),
+            ServeFault::Stall(duration) => std::thread::sleep(*duration),
+            ServeFault::Slow(_) => {}
+        }
+    }
+
+    /// The slowdown factor, if this is a [`ServeFault::Slow`].
+    pub fn slow_factor(&self) -> Option<f64> {
+        match self {
+            ServeFault::Slow(factor) => Some(*factor),
+            _ => None,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -49,6 +112,16 @@ struct PlanInner {
     stage_failures: BTreeMap<String, usize>,
     torn_writes: BTreeSet<u64>,
     write_counter: u64,
+    // Serve-side faults, keyed by (shard, nth batch processed on that
+    // shard in plan lifetime). Per-shard batch counters advance on every
+    // `batch_fault` consultation, so schedules are deterministic even
+    // with concurrent shards.
+    worker_panics: BTreeSet<(usize, u64)>,
+    stall_batches: BTreeMap<(usize, u64), u64>,
+    slow_predicts: BTreeMap<(usize, u64), u32>,
+    batch_counters: BTreeMap<usize, u64>,
+    registry_load_errors: BTreeSet<u64>,
+    load_counter: u64,
     events: Vec<FaultEvent>,
 }
 
@@ -137,6 +210,74 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a worker panic on `shard` when it consults
+    /// [`FaultPlan::batch_fault`] for the `nth_batch`-th time (zero-based).
+    pub fn with_worker_panic(self, shard: usize, nth_batch: u64) -> Self {
+        self.lock().worker_panics.insert((shard, nth_batch));
+        self
+    }
+
+    /// Schedules `shard`'s `nth_batch`-th batch to stall for `millis`
+    /// milliseconds before executing.
+    pub fn with_stall_batch(self, shard: usize, nth_batch: u64, millis: u64) -> Self {
+        self.lock().stall_batches.insert((shard, nth_batch), millis);
+        self
+    }
+
+    /// Schedules `shard`'s `nth_batch`-th batch to run `factor_pct`/100×
+    /// slower than measured (250 = 2.5× the compute time).
+    pub fn with_slow_predict(self, shard: usize, nth_batch: u64, factor_pct: u32) -> Self {
+        self.lock().slow_predicts.insert((shard, nth_batch), factor_pct);
+        self
+    }
+
+    /// Schedules the `nth` registry load (zero-based, in plan lifetime
+    /// order) to fail.
+    pub fn with_registry_load_error(self, nth: u64) -> Self {
+        self.lock().registry_load_errors.insert(nth);
+        self
+    }
+
+    /// Hook for serving workers: consulted once per batch, advancing
+    /// `shard`'s batch counter, and returning the fault (if any) scheduled
+    /// for this batch. Panic wins over stall wins over slow when several
+    /// are scheduled on the same batch. Each fault fires at most once.
+    pub fn batch_fault(&self, shard: usize) -> Option<ServeFault> {
+        let mut inner = self.lock();
+        let counter = inner.batch_counters.entry(shard).or_insert(0);
+        let index = *counter;
+        *counter += 1;
+        if inner.worker_panics.remove(&(shard, index)) {
+            inner.events.push(FaultEvent::WorkerPanic { shard });
+            return Some(ServeFault::Panic);
+        }
+        if let Some(millis) = inner.stall_batches.remove(&(shard, index)) {
+            inner.events.push(FaultEvent::StallBatch { shard, millis });
+            return Some(ServeFault::Stall(Duration::from_millis(millis)));
+        }
+        if let Some(factor_pct) = inner.slow_predicts.remove(&(shard, index)) {
+            inner.events.push(FaultEvent::SlowPredict { shard, factor_pct });
+            return Some(ServeFault::Slow(f64::from(factor_pct) / 100.0));
+        }
+        None
+    }
+
+    /// Hook for registry loaders and upgrade publishers: counts one load
+    /// attempt and returns `true` if it should fail.
+    pub fn fail_registry_load(&self) -> bool {
+        let mut inner = self.lock();
+        let index = inner.load_counter;
+        inner.load_counter += 1;
+        if inner.registry_load_errors.remove(&index) {
+            inner
+                .events
+                .push(FaultEvent::RegistryLoadError { load_index: index });
+            true
+        } else {
+            false
+        }
+    }
+
     /// Hook for the training loop: returns `true` if the batch at
     /// `(epoch, batch)` should be poisoned. Fires at most once per
     /// scheduled point.
@@ -193,6 +334,10 @@ impl FaultPlan {
         inner.nan_batches.len()
             + inner.stage_failures.values().sum::<usize>()
             + inner.torn_writes.len()
+            + inner.worker_panics.len()
+            + inner.stall_batches.len()
+            + inner.slow_predicts.len()
+            + inner.registry_load_errors.len()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PlanInner> {
@@ -286,6 +431,51 @@ mod tests {
         plan.fail_stage("s");
         plan.tear_write();
         assert_eq!(plan.pending(), 2);
+    }
+
+    #[test]
+    fn batch_faults_fire_once_per_shard_batch_index() {
+        let plan = FaultPlan::new()
+            .with_worker_panic(1, 2)
+            .with_stall_batch(0, 1, 50)
+            .with_slow_predict(0, 2, 250);
+        // Shard 0, batches 0..3: nothing, stall, slow.
+        assert_eq!(plan.batch_fault(0), None);
+        assert_eq!(plan.batch_fault(0), Some(ServeFault::Stall(Duration::from_millis(50))));
+        let slow = plan.batch_fault(0).expect("slow fault");
+        assert_eq!(slow.slow_factor(), Some(2.5));
+        // Shard 1 counts independently: batches 0,1 clean, 2 panics.
+        assert_eq!(plan.batch_fault(1), None);
+        assert_eq!(plan.batch_fault(1), None);
+        assert_eq!(plan.batch_fault(1), Some(ServeFault::Panic));
+        assert_eq!(plan.batch_fault(1), None);
+        assert_eq!(
+            plan.events(),
+            vec![
+                FaultEvent::StallBatch { shard: 0, millis: 50 },
+                FaultEvent::SlowPredict { shard: 0, factor_pct: 250 },
+                FaultEvent::WorkerPanic { shard: 1 },
+            ]
+        );
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn registry_load_errors_index_by_load_order() {
+        let plan = FaultPlan::new().with_registry_load_error(1);
+        assert!(!plan.fail_registry_load()); // load 0
+        assert!(plan.fail_registry_load()); // load 1
+        assert!(!plan.fail_registry_load()); // load 2
+        assert_eq!(
+            plan.events(),
+            vec![FaultEvent::RegistryLoadError { load_index: 1 }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injected serve worker panic")]
+    fn panic_fault_panics_on_apply() {
+        ServeFault::Panic.apply_pre();
     }
 
     #[test]

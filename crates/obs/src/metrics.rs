@@ -1,4 +1,4 @@
-//! Atomic metric primitives: counters, gauges, power-of-two histograms,
+//! Atomic metric primitives: counters, gauges, log-linear histograms,
 //! and a name-keyed registry.
 //!
 //! Every update is a single atomic operation — no lock sits on any hot
@@ -9,10 +9,19 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
-/// Number of power-of-two histogram buckets. Bucket `i` covers
-/// `[2^i, 2^(i+1))` (bucket 0 also absorbs zero), so 40 buckets of
-/// microseconds span up to ~12 days — far beyond any deadline.
-pub const BUCKETS: usize = 40;
+/// Linear sub-buckets per power-of-two range (log-linear histogram).
+/// Eight sub-buckets bound the relative quantile error at 12.5%, so
+/// nearby percentiles (p50 vs p99) land in distinct buckets instead of
+/// saturating one coarse power-of-two bucket.
+pub const SUB_BUCKETS: usize = 8;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Number of log-linear histogram buckets. Values below [`SUB_BUCKETS`]
+/// get one bucket each; every power-of-two range `[2^k, 2^(k+1))` above
+/// that is split into [`SUB_BUCKETS`] equal-width linear sub-buckets, up
+/// to the full `u64` range.
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
 
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
@@ -71,11 +80,13 @@ impl Gauge {
     }
 }
 
-/// A fixed power-of-two bucket histogram over `u64` values (typically
-/// microseconds).
+/// A fixed log-linear bucket histogram over `u64` values (typically
+/// microseconds): each power-of-two range is split into
+/// [`SUB_BUCKETS`] equal-width linear sub-buckets, bounding the relative
+/// quantile error at `1/SUB_BUCKETS` (12.5%).
 ///
 /// Quantiles are conservative upper bounds: `quantile_upper(0.95) ==
-/// 2047` means "95% of observations were ≤ 2047".
+/// 1151` means "95% of observations were ≤ 1151".
 #[derive(Debug)]
 pub struct Histogram {
     count: AtomicU64,
@@ -101,16 +112,31 @@ impl Histogram {
         Self::default()
     }
 
-    /// The bucket index a value falls into.
+    /// The bucket index a value falls into. Values below [`SUB_BUCKETS`]
+    /// map to their own bucket; above that, the exponent picks the
+    /// power-of-two range and the [`SUB_BITS`] bits below the leading one
+    /// pick the linear sub-bucket within it.
     pub fn bucket_index(value: u64) -> usize {
-        let idx = 63 - (value | 1).leading_zeros() as usize;
-        idx.min(BUCKETS - 1)
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let sub = ((value >> (exp - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        SUB_BUCKETS + (exp - SUB_BITS) as usize * SUB_BUCKETS + sub
     }
 
-    /// Upper bound of a bucket, reported as the conservative quantile
-    /// estimate.
+    /// Inclusive upper bound of a bucket, reported as the conservative
+    /// quantile estimate.
     pub fn bucket_upper(index: usize) -> u64 {
-        (1u64 << (index.min(BUCKETS - 1) + 1)) - 1
+        let index = index.min(BUCKETS - 1);
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let exp = (index - SUB_BUCKETS) as u32 / SUB_BUCKETS as u32 + SUB_BITS;
+        let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u128;
+        let width = 1u128 << (exp - SUB_BITS);
+        let upper = (1u128 << exp) + (sub + 1) * width - 1;
+        u64::try_from(upper).unwrap_or(u64::MAX)
     }
 
     /// Records one observation.
@@ -310,16 +336,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_monotone_powers_of_two() {
-        assert_eq!(Histogram::bucket_index(0), 0);
-        assert_eq!(Histogram::bucket_index(1), 0);
-        assert_eq!(Histogram::bucket_index(2), 1);
-        assert_eq!(Histogram::bucket_index(3), 1);
-        assert_eq!(Histogram::bucket_index(4), 2);
-        assert_eq!(Histogram::bucket_index(1024), 10);
+    fn buckets_are_monotone_log_linear() {
+        // Small values get exact buckets.
+        for v in 0..16u64 {
+            assert_eq!(Histogram::bucket_index(v), v as usize, "value {v}");
+            assert_eq!(Histogram::bucket_upper(v as usize), v);
+        }
+        // 1024 opens the [2^10, 2^11) range: 8 sub-buckets of width 128.
+        assert_eq!(Histogram::bucket_index(1024), 64);
+        assert_eq!(Histogram::bucket_index(1151), 64);
+        assert_eq!(Histogram::bucket_index(1152), 65);
+        assert_eq!(Histogram::bucket_upper(64), 1151);
         assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper(BUCKETS - 1), u64::MAX);
         for i in 0..BUCKETS - 1 {
             assert!(Histogram::bucket_upper(i) < Histogram::bucket_upper(i + 1));
+        }
+        // Every value lands in a bucket whose bounds contain it, with
+        // relative error at most 1/SUB_BUCKETS.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = Histogram::bucket_index(v);
+            let upper = Histogram::bucket_upper(idx);
+            assert!(upper >= v, "upper({idx}) = {upper} < {v}");
+            assert!(
+                upper - v <= v / SUB_BUCKETS as u64 + 1,
+                "bucket too coarse at {v}: upper {upper}"
+            );
+            v = v.saturating_mul(3) / 2 + 1;
         }
     }
 

@@ -1,12 +1,22 @@
 //! The inference engine: bounded queue, worker pool, micro-batcher.
+//!
+//! In the sharded tier (see `router`), each shard runs one engine. The
+//! engine carries the shard-facing plumbing: a per-worker [`Heartbeat`]
+//! the supervisor's stall detector reads, an optional
+//! [`faultsim::FaultPlan`] hook consulted once per batch (test-only
+//! chaos injection), and a [`Engine::decommission`] path that hands the
+//! still-queued requests to the supervisor *without* joining workers —
+//! a stalled or dead worker must never wedge its own failover.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use faultsim::{FaultPlan, ServeFault};
 use neural::plan::FrozenPlan;
 use parking_lot::{Condvar, Mutex};
 
+use crate::health::Heartbeat;
 use crate::metrics::ServeMetrics;
 use crate::queue::{BoundedQueue, PendingRequest};
 use crate::registry::ModelRegistry;
@@ -125,10 +135,22 @@ pub struct Prediction {
     pub latency: Duration,
 }
 
+/// Slot lifecycle: completion is sticky. A slot whose result was
+/// already taken by the ticket must *not* look pending again, or the
+/// crash-completion in [`PendingRequest`]'s drop would re-complete (and
+/// re-count) requests that were served normally.
+#[derive(Debug, Default)]
+enum SlotState {
+    #[default]
+    Pending,
+    Ready(Result<Prediction, ServeError>),
+    Taken,
+}
+
 /// Rendezvous cell a worker fills and a [`Ticket`] waits on.
 #[derive(Debug, Default)]
 pub(crate) struct ResponseSlot {
-    result: Mutex<Option<Result<Prediction, ServeError>>>,
+    result: Mutex<SlotState>,
     done: Condvar,
 }
 
@@ -137,12 +159,35 @@ impl ResponseSlot {
         Self::default()
     }
 
-    pub(crate) fn complete(&self, result: Result<Prediction, ServeError>) {
+    /// Fills the slot if it is still pending. Returns `true` if this
+    /// call won the completion (at most one caller ever does, even
+    /// after the result has been taken).
+    pub(crate) fn complete(&self, result: Result<Prediction, ServeError>) -> bool {
         let mut slot = self.result.lock();
-        if slot.is_none() {
-            *slot = Some(result);
+        if matches!(*slot, SlotState::Pending) {
+            *slot = SlotState::Ready(result);
             self.done.notify_all();
+            true
+        } else {
+            false
         }
+    }
+
+    fn take(&self, slot: &mut SlotState) -> Option<Result<Prediction, ServeError>> {
+        if matches!(slot, SlotState::Ready(_)) {
+            match std::mem::replace(slot, SlotState::Taken) {
+                SlotState::Ready(result) => Some(result),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn take_result(&self) -> Option<Result<Prediction, ServeError>> {
+        let mut slot = self.result.lock();
+        self.take(&mut slot)
     }
 }
 
@@ -162,7 +207,7 @@ impl Ticket {
     pub fn wait(self) -> Result<Prediction, ServeError> {
         let mut slot = self.slot.result.lock();
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = self.slot.take(&mut slot) {
                 return result;
             }
             slot = self.slot.done.wait(slot);
@@ -171,8 +216,23 @@ impl Ticket {
 
     /// Non-blocking poll: the result if the request already completed.
     pub fn try_take(&self) -> Option<Result<Prediction, ServeError>> {
-        self.slot.result.lock().take()
+        let mut slot = self.slot.result.lock();
+        self.slot.take(&mut slot)
     }
+}
+
+/// Shard-facing context a worker thread carries: which shard it serves,
+/// the heartbeat slot the supervisor's stall detector reads, and the
+/// optional chaos-injection plan consulted once per batch.
+struct WorkerCtx {
+    queue: Arc<BoundedQueue>,
+    metrics: Arc<ServeMetrics>,
+    max_batch: usize,
+    linger: Duration,
+    shard: usize,
+    index: usize,
+    heartbeat: Arc<Heartbeat>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 /// The serving engine. Submissions go through a bounded queue; a pool of
@@ -182,6 +242,7 @@ pub struct Engine {
     registry: Arc<ModelRegistry>,
     queue: Arc<BoundedQueue>,
     metrics: Arc<ServeMetrics>,
+    heartbeat: Arc<Heartbeat>,
     workers: Vec<JoinHandle<()>>,
     config: ServeConfig,
 }
@@ -204,17 +265,41 @@ impl Engine {
     /// thread; workers already started are joined before returning, so a
     /// failed start leaks nothing.
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Self, ServeError> {
+        Self::start_sharded(registry, config, 0, None, Arc::new(ServeMetrics::new()))
+    }
+
+    /// Starts the worker pool as shard `shard` of a sharded tier, with a
+    /// shared [`ServeMetrics`] that survives restarts and an optional
+    /// fault-injection plan (chaos testing only — every batch consults
+    /// [`FaultPlan::batch_fault`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::start`].
+    pub(crate) fn start_sharded(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        shard: usize,
+        fault_plan: Option<Arc<FaultPlan>>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Result<Self, ServeError> {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
-        let metrics = Arc::new(ServeMetrics::new());
+        let heartbeat = Arc::new(Heartbeat::new(config.workers));
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
-            let queue_for_worker = Arc::clone(&queue);
-            let metrics_for_worker = Arc::clone(&metrics);
-            let max_batch = config.max_batch.max(1);
-            let linger = config.max_linger;
+            let ctx = WorkerCtx {
+                queue: Arc::clone(&queue),
+                metrics: Arc::clone(&metrics),
+                max_batch: config.max_batch.max(1),
+                linger: config.max_linger,
+                shard,
+                index: i,
+                heartbeat: Arc::clone(&heartbeat),
+                fault_plan: fault_plan.clone(),
+            };
             let spawned = std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&queue_for_worker, &metrics_for_worker, max_batch, linger));
+                .name(format!("serve-{shard}-worker-{i}"))
+                .spawn(move || worker_loop(ctx));
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(err) => {
@@ -222,7 +307,9 @@ impl Engine {
                     for worker in workers {
                         let _ = worker.join();
                     }
-                    return Err(ServeError::WorkerSpawn(format!("serve-worker-{i}: {err}")));
+                    return Err(ServeError::WorkerSpawn(format!(
+                        "serve-{shard}-worker-{i}: {err}"
+                    )));
                 }
             }
         }
@@ -230,6 +317,7 @@ impl Engine {
             registry,
             queue,
             metrics,
+            heartbeat,
             workers,
             config,
         })
@@ -281,6 +369,7 @@ impl Engine {
             enqueued: now,
             deadline: now + request.deadline.unwrap_or(self.config.default_deadline),
             slot: Arc::clone(&slot),
+            metrics: Arc::clone(&self.metrics),
         };
         match self.queue.try_push(pending) {
             Ok(depth) => {
@@ -288,7 +377,8 @@ impl Engine {
                 self.metrics.record_queue_depth(depth);
                 Ok(Ticket { slot })
             }
-            Err(err) => {
+            Err((err, bounced)) => {
+                bounced.reject();
                 self.metrics.record_rejected();
                 Err(err)
             }
@@ -332,6 +422,50 @@ impl Engine {
         self.queue.high_water()
     }
 
+    /// Current queue depth (admission-control estimate, not hot path).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Worker threads that have exited (panicked, or returned after the
+    /// queue closed). Non-zero on a live engine means a worker died.
+    pub(crate) fn dead_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.is_finished()).count()
+    }
+
+    /// `true` if any worker has been busy on one batch longer than
+    /// `stall_deadline` (the supervisor's stall detector).
+    pub(crate) fn stalled(&self, stall_deadline: Duration) -> bool {
+        self.heartbeat.longest_busy() > stall_deadline
+    }
+
+    /// Takes this engine out of service *without joining workers*: the
+    /// queue closes, still-queued requests are handed back for
+    /// re-routing, and worker handles are detached — a stalled or
+    /// panicked worker must never block its own failover. Detached
+    /// live workers finish their in-flight batch (completing those
+    /// requests late) and exit on the closed queue.
+    pub(crate) fn decommission(mut self) -> Vec<PendingRequest> {
+        self.queue.close();
+        let pending = self.queue.drain();
+        // Detach: dropping a JoinHandle never blocks.
+        self.workers.clear();
+        pending
+    }
+
+    /// Pushes a request displaced from a failed sibling shard straight
+    /// into this engine's queue (terminal accounting stays on the
+    /// origin shard's metrics). Returns the request on backpressure so
+    /// the supervisor can try the next shard.
+    pub(crate) fn push_displaced(
+        &self,
+        request: PendingRequest,
+    ) -> Result<(), PendingRequest> {
+        // No metrics.record_submitted here: the origin shard already
+        // counted the admission.
+        self.queue.try_push(request).map(|_| ()).map_err(|(_, r)| r)
+    }
+
     /// Graceful shutdown: stop accepting work, let workers drain the
     /// queue, join them. Anything still queued after the workers exit
     /// (possible only with zero workers) completes with
@@ -346,6 +480,9 @@ impl Engine {
             let _ = worker.join();
         }
         for request in self.queue.drain() {
+            // Terminal accounting *before* completion: `in_flight`
+            // (submitted minus terminals) must never under-count.
+            request.metrics.record_drained();
             request.slot.complete(Err(ServeError::ShuttingDown));
         }
     }
@@ -357,54 +494,91 @@ impl Drop for Engine {
     }
 }
 
-/// Worker body: pop a same-plan batch, drop requests past their deadline,
-/// run the rest as one contiguous block, fan results back out.
-fn worker_loop(queue: &BoundedQueue, metrics: &ServeMetrics, max_batch: usize, linger: Duration) {
-    while let Some(batch) = queue.pop_batch(max_batch, linger) {
-        let _batch_span = obs::span("serve.batch");
-        let now = Instant::now();
-        let mut live: Vec<PendingRequest> = Vec::with_capacity(batch.len());
-        for request in batch {
-            if request.deadline <= now {
-                metrics.record_timed_out();
-                request.slot.complete(Err(ServeError::DeadlineExceeded));
-            } else {
-                live.push(request);
+/// Worker body: pop a same-plan batch, apply any injected fault, drop
+/// requests past their deadline, run the rest as one contiguous block,
+/// fan results back out.
+///
+/// An injected [`ServeFault::Panic`] unwinds this thread between the pop
+/// and the batch execution: every popped request completes through
+/// [`PendingRequest`]'s drop-completion (a terminal
+/// [`ServeError::WorkerCrashed`]), and the supervisor sees the finished
+/// thread handle and fails the shard over. Terminal request outcomes are
+/// recorded on each request's *origin-shard* metrics, so conservation
+/// holds even for requests re-routed here from a failed sibling.
+fn worker_loop(ctx: WorkerCtx) {
+    loop {
+        ctx.heartbeat.mark_idle(ctx.index);
+        let Some(batch) = ctx.queue.pop_batch(ctx.max_batch, ctx.linger) else {
+            break;
+        };
+        ctx.heartbeat.mark_busy(ctx.index);
+        let fault = ctx
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.batch_fault(ctx.shard));
+        if let Some(fault) = &fault {
+            // Panic unwinds here; Stall sleeps here, inside the busy
+            // window the supervisor's stall detector watches.
+            fault.apply_pre();
+        }
+        run_batch(&ctx, batch, fault.as_ref().and_then(ServeFault::slow_factor));
+    }
+    ctx.heartbeat.mark_idle(ctx.index);
+}
+
+fn run_batch(ctx: &WorkerCtx, batch: Vec<PendingRequest>, slow_factor: Option<f64>) {
+    let _batch_span = obs::span("serve.batch");
+    let now = Instant::now();
+    let mut live: Vec<PendingRequest> = Vec::with_capacity(batch.len());
+    for request in batch {
+        if request.deadline <= now {
+            request.metrics.record_timed_out();
+            request.slot.complete(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(request);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let plan: Arc<FrozenPlan> = Arc::clone(&live[0].plan);
+    let batch_size = live.len();
+    let mut block = Vec::with_capacity(batch_size * plan.input_len());
+    for request in &live {
+        block.extend_from_slice(&request.input);
+    }
+    let mut outputs = Vec::new();
+    let started = Instant::now();
+    let result = plan.predict_batch(&block, &mut outputs);
+    if let Some(factor) = slow_factor {
+        // Injected slow shard: inflate the measured compute time so the
+        // slowdown shows up in latency percentiles and the EWMA the
+        // admission controller reads.
+        let extra = started.elapsed().mul_f64((factor - 1.0).max(0.0));
+        std::thread::sleep(extra.max(Duration::from_micros(50)));
+    }
+    match result {
+        Ok(_) => {
+            ctx.metrics.record_batch(batch_size, started.elapsed());
+            let out_len = plan.output_len();
+            for (i, request) in live.into_iter().enumerate() {
+                let _req_span = obs::span("serve.request");
+                let latency = request.enqueued.elapsed();
+                request.metrics.record_completed(latency);
+                request.slot.complete(Ok(Prediction {
+                    output: outputs[i * out_len..(i + 1) * out_len].to_vec(),
+                    model_version: request.version,
+                    batch_size,
+                    latency,
+                }));
             }
         }
-        if live.is_empty() {
-            continue;
-        }
-        let plan: Arc<FrozenPlan> = Arc::clone(&live[0].plan);
-        let batch_size = live.len();
-        let mut block = Vec::with_capacity(batch_size * plan.input_len());
-        for request in &live {
-            block.extend_from_slice(&request.input);
-        }
-        let mut outputs = Vec::new();
-        match plan.predict_batch(&block, &mut outputs) {
-            Ok(_) => {
-                metrics.record_batch(batch_size);
-                let out_len = plan.output_len();
-                for (i, request) in live.into_iter().enumerate() {
-                    let _req_span = obs::span("serve.request");
-                    let latency = request.enqueued.elapsed();
-                    metrics.record_completed(latency);
-                    request.slot.complete(Ok(Prediction {
-                        output: outputs[i * out_len..(i + 1) * out_len].to_vec(),
-                        model_version: request.version,
-                        batch_size,
-                        latency,
-                    }));
-                }
-            }
-            Err(err) => {
-                // Unreachable in practice: shapes are validated at submit
-                // time. Fail every rider rather than panicking a worker.
-                for request in live {
-                    metrics.record_failed();
-                    request.slot.complete(Err(ServeError::Neural(err.clone())));
-                }
+        Err(err) => {
+            // Unreachable in practice: shapes are validated at submit
+            // time. Fail every rider rather than panicking a worker.
+            for request in live {
+                request.metrics.record_failed();
+                request.slot.complete(Err(ServeError::Neural(err.clone())));
             }
         }
     }
@@ -691,5 +865,35 @@ mod tests {
         let ticket = engine.submit(Request::new("ms", vec![0.0; 64])).unwrap();
         engine.shutdown();
         assert_eq!(ticket.wait(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn waiters_blocked_on_tickets_resolve_at_shutdown() {
+        // Regression: `Ticket::wait` must never block forever. Waiters
+        // park on tickets *before* shutdown; the shutdown drain has to
+        // resolve every one of them with a terminal error.
+        let (registry, _) = registry_with("ms", 1);
+        let engine = Engine::start(
+            registry,
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let ticket = engine.submit(Request::new("ms", vec![0.0; 64])).unwrap();
+                std::thread::spawn(move || ticket.wait())
+            })
+            .collect();
+        // Let the waiters actually park on their condvars.
+        std::thread::sleep(Duration::from_millis(20));
+        let drained_before = engine.metrics().report().requests_drained;
+        assert_eq!(drained_before, 0);
+        engine.shutdown();
+        for waiter in waiters {
+            assert_eq!(waiter.join().unwrap(), Err(ServeError::ShuttingDown));
+        }
     }
 }

@@ -62,13 +62,20 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod health;
 mod metrics;
 mod queue;
 mod registry;
+mod router;
+mod shard;
 
 pub use engine::{Engine, Prediction, Request, RetryPolicy, ServeConfig, Ticket};
+pub use health::HealthState;
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use registry::ModelRegistry;
+pub use router::{
+    AdmissionConfig, Router, RouterConfig, RouterReport, ShardReport, SupervisorConfig, SwapReport,
+};
 
 use std::fmt;
 
@@ -102,6 +109,24 @@ pub enum SubmitError {
         /// Input length the request carried.
         actual: usize,
     },
+    /// Admission control predicts the request would sit in queue past its
+    /// deadline — rejected up front instead of timing out after the wait.
+    WouldMissDeadline {
+        /// Estimated queue-plus-execution time (µs).
+        estimated_us: u64,
+        /// The request's deadline budget (µs).
+        deadline_us: u64,
+    },
+    /// The router's in-flight cap (global or per-shard on every shard)
+    /// is reached — load-shedding backpressure.
+    Overloaded {
+        /// Requests currently in flight.
+        in_flight: u64,
+        /// The cap that was hit.
+        limit: u64,
+    },
+    /// Every shard is Down, cordoned, or circuit-broken.
+    NoHealthyShard,
 }
 
 impl fmt::Display for SubmitError {
@@ -118,6 +143,17 @@ impl fmt::Display for SubmitError {
             SubmitError::ShapeMismatch { expected, actual } => {
                 write!(f, "input shape mismatch: model expects {expected}, got {actual}")
             }
+            SubmitError::WouldMissDeadline {
+                estimated_us,
+                deadline_us,
+            } => write!(
+                f,
+                "admission control: estimated {estimated_us}µs exceeds deadline {deadline_us}µs"
+            ),
+            SubmitError::Overloaded { in_flight, limit } => {
+                write!(f, "overloaded: {in_flight} requests in flight (limit {limit})")
+            }
+            SubmitError::NoHealthyShard => write!(f, "no healthy shard available"),
         }
     }
 }
@@ -145,6 +181,19 @@ pub enum ServeError {
     Store(String),
     /// The OS refused to spawn a worker thread at engine start.
     WorkerSpawn(String),
+    /// The worker serving this request died before completing it; the
+    /// request was resolved by the crash-completion path.
+    WorkerCrashed,
+    /// A rolling upgrade aborted: the canary request on the upgraded
+    /// shard did not come back healthy on the new version.
+    CanaryFailed {
+        /// The model being upgraded.
+        model: String,
+        /// The target version the canary was checking.
+        version: u32,
+        /// What went wrong with the canary.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -159,6 +208,12 @@ impl fmt::Display for ServeError {
             ServeError::Neural(err) => write!(f, "model error: {err}"),
             ServeError::Store(msg) => write!(f, "store error: {msg}"),
             ServeError::WorkerSpawn(msg) => write!(f, "failed to spawn worker: {msg}"),
+            ServeError::WorkerCrashed => write!(f, "worker crashed before completing the request"),
+            ServeError::CanaryFailed {
+                model,
+                version,
+                reason,
+            } => write!(f, "canary failed for {model} v{version}: {reason}"),
         }
     }
 }

@@ -3,27 +3,41 @@
 //! [`ServeMetrics`] used to carry its own bespoke power-of-two latency
 //! histogram; it now composes `obs::{Counter, Gauge, Histogram}` so the
 //! serving layer shares one histogram implementation with the rest of
-//! the workspace. The report shape and arithmetic are unchanged —
-//! `BENCH_serve.json` output stays byte-identical across the migration.
+//! the workspace. The shared histogram is log-linear (eight linear
+//! sub-buckets per power-of-two range), so `BENCH_serve.json` reports
+//! p50/p95/p99 with at most 12.5% relative error instead of saturating
+//! one coarse power-of-two bucket. Report field names are unchanged.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use obs::{Counter, Gauge, Histogram};
+use obs::{Counter, Gauge, Histogram, HistogramSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Live engine counters. All updates are single atomic operations — no
 /// lock sits on the request hot path. Snapshot with
 /// [`ServeMetrics::report`].
+///
+/// In the sharded tier each shard owns one `ServeMetrics` that survives
+/// engine restarts, and every request records its terminal outcome on
+/// the metrics of the shard that *admitted* it — so per-shard
+/// conservation (`submitted` equals `completed + failed + timed_out +
+/// drained + in-flight`) holds even when the supervisor re-routes a
+/// failed shard's queue to a sibling.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     submitted: Counter,
     rejected: Counter,
     failed: Counter,
     timed_out: Counter,
+    drained: Counter,
     queue_high_water: Counter,
     queue_depth: Gauge,
     batch_sizes: Histogram,
     latency: Histogram,
+    /// EWMA of micro-batch wall time in µs (α = 1/5), feeding the
+    /// router's deadline-aware admission estimate.
+    batch_ewma_us: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -55,8 +69,16 @@ impl ServeMetrics {
         obs::gauge_set("serve.queue_depth", depth as f64);
     }
 
-    pub(crate) fn record_batch(&self, samples: usize) {
+    pub(crate) fn record_drained(&self) {
+        self.drained.inc();
+    }
+
+    pub(crate) fn record_batch(&self, samples: usize, wall: Duration) {
         self.batch_sizes.observe(samples as u64);
+        let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        let old = self.batch_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { (old * 4 + us) / 5 };
+        self.batch_ewma_us.store(new, Ordering::Relaxed);
     }
 
     pub(crate) fn record_completed(&self, latency: Duration) {
@@ -79,9 +101,45 @@ impl ServeMetrics {
         self.latency.count()
     }
 
+    /// Requests that ended with a terminal error.
+    pub fn failed(&self) -> u64 {
+        self.failed.get()
+    }
+
+    /// Requests that sat past their deadline.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.get()
+    }
+
     /// Most recently observed queue depth.
     pub fn queue_depth(&self) -> f64 {
         self.queue_depth.get()
+    }
+
+    /// Requests drained with a terminal [`crate::ServeError::ShuttingDown`].
+    pub fn drained(&self) -> u64 {
+        self.drained.get()
+    }
+
+    /// Requests admitted but not yet terminally resolved. Derived from
+    /// the counters, so it is exact once the shard quiesces (the drain
+    /// step of a rolling swap polls it down to zero).
+    pub fn in_flight(&self) -> u64 {
+        let terminal = self.latency.count()
+            + self.failed.get()
+            + self.timed_out.get()
+            + self.drained.get();
+        self.submitted.get().saturating_sub(terminal)
+    }
+
+    /// EWMA of micro-batch wall time in µs (zero until the first batch).
+    pub fn batch_ewma_us(&self) -> u64 {
+        self.batch_ewma_us.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the latency histogram (for cross-shard aggregation).
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     /// Snapshots every counter into a serializable report.
@@ -94,6 +152,7 @@ impl ServeMetrics {
             requests_completed: completed,
             requests_failed: self.failed.get(),
             requests_timed_out: self.timed_out.get(),
+            requests_drained: self.drained.get(),
             batches: batch.count,
             mean_batch_size: if batch.count == 0 {
                 0.0
@@ -116,9 +175,9 @@ impl ServeMetrics {
 
 /// A point-in-time, serializable snapshot of [`ServeMetrics`].
 ///
-/// Percentiles are conservative upper bounds from the power-of-two bucket
-/// histogram (a p95 of `2047` means "95% of requests finished within
-/// 2047 µs").
+/// Percentiles are conservative upper bounds from the log-linear bucket
+/// histogram (a p95 of `1151` means "95% of requests finished within
+/// 1151 µs"), accurate to 12.5%.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsReport {
     /// Requests accepted into the queue.
@@ -131,6 +190,8 @@ pub struct MetricsReport {
     pub requests_failed: u64,
     /// Requests that sat past their deadline before execution.
     pub requests_timed_out: u64,
+    /// Requests drained at shutdown with a terminal `ShuttingDown`.
+    pub requests_drained: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Mean samples per executed batch.
@@ -154,17 +215,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_monotone_powers_of_two() {
-        assert_eq!(Histogram::bucket_index(0), 0);
-        assert_eq!(Histogram::bucket_index(1), 0);
-        assert_eq!(Histogram::bucket_index(2), 1);
-        assert_eq!(Histogram::bucket_index(3), 1);
-        assert_eq!(Histogram::bucket_index(4), 2);
-        assert_eq!(Histogram::bucket_index(1024), 10);
+    fn buckets_are_monotone_log_linear() {
+        for v in 0..16u64 {
+            assert_eq!(Histogram::bucket_index(v), v as usize, "value {v}");
+        }
+        assert_eq!(Histogram::bucket_index(1024), 64);
         assert_eq!(Histogram::bucket_index(u64::MAX), obs::BUCKETS - 1);
         for i in 0..obs::BUCKETS - 1 {
             assert!(Histogram::bucket_upper(i) < Histogram::bucket_upper(i + 1));
         }
+    }
+
+    #[test]
+    fn log_linear_buckets_separate_nearby_tail_latencies() {
+        // The old power-of-two buckets collapsed a smoke run's whole
+        // latency spread (~130–260 ms) into one bucket, reporting
+        // p50 == p95 == p99. Log-linear buckets must keep them apart.
+        let m = ServeMetrics::new();
+        for us in [130_000u64, 150_000, 170_000, 190_000, 210_000, 230_000, 250_000, 260_000] {
+            m.record_completed(Duration::from_micros(us));
+        }
+        let report = m.report();
+        assert!(
+            report.latency_p50_us < report.latency_p99_us,
+            "p50 {} must stay below p99 {}",
+            report.latency_p50_us,
+            report.latency_p99_us
+        );
+        // Conservative upper bounds stay within 12.5% of the true value.
+        assert!(report.latency_p99_us >= 260_000);
+        assert!(report.latency_p99_us <= 260_000 + 260_000 / 8 + 1);
     }
 
     #[test]
@@ -198,8 +278,9 @@ mod tests {
         m.record_rejected();
         m.record_failed();
         m.record_timed_out();
-        m.record_batch(4);
-        m.record_batch(2);
+        m.record_drained();
+        m.record_batch(4, Duration::from_micros(100));
+        m.record_batch(2, Duration::from_micros(200));
         m.record_queue_depth(7);
         m.record_queue_depth(3);
         let report = m.report();
@@ -207,10 +288,15 @@ mod tests {
         assert_eq!(report.requests_rejected, 1);
         assert_eq!(report.requests_failed, 1);
         assert_eq!(report.requests_timed_out, 1);
+        assert_eq!(report.requests_drained, 1);
         assert_eq!(report.batches, 2);
         assert_eq!(report.mean_batch_size, 3.0);
         assert_eq!(report.queue_depth_high_water, 7);
         assert_eq!(m.queue_depth(), 3.0);
+        // EWMA warms to the first batch, then blends 4:1.
+        assert_eq!(m.batch_ewma_us(), (100 * 4 + 200) / 5);
+        // submitted(2) minus terminal failed(1)+timed_out(1)+drained(1) — saturates at zero.
+        assert_eq!(m.in_flight(), 0);
     }
 
     #[test]

@@ -9,7 +9,8 @@ use neural::plan::FrozenPlan;
 use parking_lot::{Condvar, Mutex};
 
 use crate::engine::ResponseSlot;
-use crate::SubmitError;
+use crate::metrics::ServeMetrics;
+use crate::{ServeError, SubmitError};
 
 /// One queued prediction request. The plan `Arc` is resolved at submit
 /// time, so a hot-swap published after submission never affects this
@@ -21,6 +22,41 @@ pub(crate) struct PendingRequest {
     pub enqueued: Instant,
     pub deadline: Instant,
     pub slot: Arc<ResponseSlot>,
+    /// Metrics of the shard that admitted this request. Terminal
+    /// outcomes always land here, even if a supervisor re-routes the
+    /// request to a sibling shard's queue.
+    pub metrics: Arc<ServeMetrics>,
+}
+
+impl std::fmt::Debug for PendingRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingRequest")
+            .field("version", &self.version)
+            .field("input_len", &self.input.len())
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PendingRequest {
+    /// Discards a request that was *rejected before admission*: the
+    /// slot completes (no ticket exists, so nobody observes it) without
+    /// the crash-completion path recording a spurious failure.
+    pub(crate) fn reject(self) {
+        self.slot.complete(Err(ServeError::ShuttingDown));
+    }
+}
+
+impl Drop for PendingRequest {
+    /// Last-resort completion: if this request is dropped without a
+    /// terminal result — a worker panicked mid-batch and unwound, or a
+    /// failed shard's queue could not be re-homed — the waiting
+    /// [`crate::Ticket`] still resolves instead of blocking forever.
+    fn drop(&mut self) {
+        if self.slot.complete(Err(ServeError::WorkerCrashed)) {
+            self.metrics.record_failed();
+        }
+    }
 }
 
 struct QueueState {
@@ -52,16 +88,25 @@ impl BoundedQueue {
         }
     }
 
-    /// Non-blocking push: backpressure instead of waiting.
-    pub fn try_push(&self, request: PendingRequest) -> Result<usize, SubmitError> {
+    /// Non-blocking push: backpressure instead of waiting. On rejection
+    /// the request is handed back so the caller decides its fate
+    /// (reject the submission, or re-route to a sibling shard) — it is
+    /// never silently dropped into the crash-completion path.
+    pub fn try_push(
+        &self,
+        request: PendingRequest,
+    ) -> Result<usize, (SubmitError, PendingRequest)> {
         let mut state = self.state.lock();
         if state.closed {
-            return Err(SubmitError::ShuttingDown);
+            return Err((SubmitError::ShuttingDown, request));
         }
         if state.requests.len() >= self.capacity {
-            return Err(SubmitError::QueueFull {
-                capacity: self.capacity,
-            });
+            return Err((
+                SubmitError::QueueFull {
+                    capacity: self.capacity,
+                },
+                request,
+            ));
         }
         state.requests.push_back(request);
         let depth = state.requests.len();
@@ -132,6 +177,12 @@ impl BoundedQueue {
     pub fn high_water(&self) -> usize {
         self.high_water.load(Ordering::Relaxed)
     }
+
+    /// Current queue depth (one brief lock; used by admission control,
+    /// not by the worker hot path).
+    pub fn len(&self) -> usize {
+        self.state.lock().requests.len()
+    }
 }
 
 /// Moves queued requests sharing `plan` (by `Arc` identity) into `batch`,
@@ -178,7 +229,23 @@ mod tests {
             enqueued: now,
             deadline: now + Duration::from_secs(60),
             slot: Arc::new(ResponseSlot::new()),
+            metrics: Arc::new(ServeMetrics::new()),
         }
+    }
+
+    #[test]
+    fn dropped_request_resolves_its_ticket_with_a_crash_error() {
+        let p = plan();
+        let pending = request(&p);
+        let slot = Arc::clone(&pending.slot);
+        let metrics = Arc::clone(&pending.metrics);
+        drop(pending);
+        assert_eq!(
+            slot.take_result(),
+            Some(Err(ServeError::WorkerCrashed)),
+            "dropping an unserved request must complete its slot"
+        );
+        assert_eq!(metrics.report().requests_failed, 1);
     }
 
     #[test]
@@ -188,8 +255,9 @@ mod tests {
         queue.try_push(request(&p)).unwrap();
         queue.try_push(request(&p)).unwrap();
         let started = Instant::now();
-        let err = queue.try_push(request(&p)).unwrap_err();
+        let (err, bounced) = queue.try_push(request(&p)).unwrap_err();
         assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        bounced.reject();
         assert!(
             started.elapsed() < Duration::from_millis(50),
             "backpressure must be immediate, took {:?}",
@@ -205,7 +273,7 @@ mod tests {
         queue.try_push(request(&p)).unwrap();
         queue.close();
         assert_eq!(
-            queue.try_push(request(&p)).unwrap_err(),
+            queue.try_push(request(&p)).unwrap_err().0,
             SubmitError::ShuttingDown
         );
         let batch = queue.pop_batch(8, Duration::ZERO).unwrap();

@@ -1,0 +1,182 @@
+//! One supervised shard: an [`Engine`] plus the health, restart, and
+//! failover bookkeeping the router's supervisor drives.
+//!
+//! The shard owns its [`ServeMetrics`] across engine restarts, so the
+//! per-shard conservation invariant (`submitted = completed + failed +
+//! timed_out + drained + in-flight`) spans failovers: a request admitted
+//! by shard 2, re-routed to shard 0 after shard 2's worker panicked, and
+//! completed there still resolves on shard 2's counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use faultsim::FaultPlan;
+use parking_lot::RwLock;
+
+use crate::engine::{Engine, Request, Ticket};
+use crate::health::{HealthState, ShardHealth};
+use crate::metrics::ServeMetrics;
+use crate::queue::PendingRequest;
+use crate::registry::ModelRegistry;
+use crate::{ServeConfig, ServeError, SubmitError};
+
+/// A supervised serving shard. All routing goes through the router; the
+/// shard only carries per-shard state and the engine swap slot.
+pub(crate) struct Shard {
+    pub(crate) id: usize,
+    registry: Arc<ModelRegistry>,
+    config: ServeConfig,
+    fault_plan: Option<Arc<FaultPlan>>,
+    metrics: Arc<ServeMetrics>,
+    /// The live engine, or `None` while the shard is down awaiting
+    /// restart. Lock order: `engine` is acquired before the registry's
+    /// `models` lock (taken inside `Engine::submit`).
+    engine: RwLock<Option<Engine>>,
+    pub(crate) health: ShardHealth,
+    restarts: AtomicU64,
+}
+
+impl Shard {
+    pub(crate) fn start(
+        id: usize,
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        fault_plan: Option<Arc<FaultPlan>>,
+    ) -> Result<Self, ServeError> {
+        let metrics = Arc::new(ServeMetrics::new());
+        let engine = Engine::start_sharded(
+            Arc::clone(&registry),
+            config.clone(),
+            id,
+            fault_plan.clone(),
+            Arc::clone(&metrics),
+        )?;
+        Ok(Self {
+            id,
+            registry,
+            config,
+            fault_plan,
+            metrics,
+            engine: RwLock::new(Some(engine)),
+            health: ShardHealth::new(),
+            restarts: AtomicU64::new(0),
+        })
+    }
+
+    /// Submits with the router's version pin applied when the request
+    /// does not carry its own version. A down shard (engine slot empty)
+    /// reports `ShuttingDown`; the router treats that as "try the next
+    /// shard".
+    pub(crate) fn submit_pinned(
+        &self,
+        mut request: Request,
+        pin: Option<u32>,
+    ) -> Result<Ticket, SubmitError> {
+        if request.version.is_none() {
+            request.version = pin;
+        }
+        match self.engine.read().as_ref() {
+            Some(engine) => engine.submit(request),
+            None => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    pub(crate) fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.engine
+            .read()
+            .as_ref()
+            .map(Engine::queue_len)
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn is_down(&self) -> bool {
+        self.engine.read().is_none()
+    }
+
+    /// Worker threads of the live engine that have exited.
+    pub(crate) fn dead_workers(&self) -> usize {
+        self.engine
+            .read()
+            .as_ref()
+            .map(Engine::dead_workers)
+            .unwrap_or(0)
+    }
+
+    /// `true` if some worker has been stuck on one batch past
+    /// `stall_deadline`.
+    pub(crate) fn stalled(&self, stall_deadline: Duration) -> bool {
+        self.engine
+            .read()
+            .as_ref()
+            .map(|engine| engine.stalled(stall_deadline))
+            .unwrap_or(false)
+    }
+
+    /// Takes the shard out of service: marks it Down, removes the
+    /// engine, and hands back every still-queued request for re-routing.
+    /// Never joins workers (a wedged worker must not wedge its own
+    /// failover); a detached live worker finishes its in-flight batch
+    /// and exits on the closed queue.
+    pub(crate) fn fail_over(&self) -> Vec<PendingRequest> {
+        self.health.set_state(HealthState::Down);
+        let engine = self.engine.write().take();
+        match engine {
+            Some(engine) => engine.decommission(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Restarts a Down shard with a fresh engine over the *same*
+    /// metrics, so counters (and the conservation invariant) continue
+    /// across the restart.
+    pub(crate) fn restart(&self) -> Result<(), ServeError> {
+        let engine = Engine::start_sharded(
+            Arc::clone(&self.registry),
+            self.config.clone(),
+            self.id,
+            self.fault_plan.clone(),
+            Arc::clone(&self.metrics),
+        )?;
+        *self.engine.write() = Some(engine);
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.health.set_state(HealthState::Healthy);
+        Ok(())
+    }
+
+    /// Accepts a request displaced from a failed sibling (terminal
+    /// accounting stays on the origin shard). Hands the request back if
+    /// this shard is down or its queue is full.
+    pub(crate) fn accept_displaced(&self, request: PendingRequest) -> Result<(), PendingRequest> {
+        match self.engine.read().as_ref() {
+            Some(engine) => engine.push_displaced(request),
+            None => Err(request),
+        }
+    }
+
+    /// Graceful shutdown: drain and join (unlike failover).
+    pub(crate) fn shutdown(&self) {
+        self.health.set_state(HealthState::Down);
+        if let Some(engine) = self.engine.write().take() {
+            engine.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("health", &self.health.state())
+            .field("restarts", &self.restarts())
+            .finish_non_exhaustive()
+    }
+}

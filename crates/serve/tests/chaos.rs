@@ -1,0 +1,336 @@
+//! Chaos tests for the sharded serving tier: deterministic faultsim
+//! plans inject worker panics, batch stalls, and registry load errors,
+//! and every test pins the conservation invariant — each admitted
+//! request reaches exactly one terminal outcome (completed, failed,
+//! timed out, or drained) no matter what fails in between.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faultsim::FaultPlan;
+use neural::plan::FrozenPlan;
+use neural::spec::{LayerSpec, NetworkSpec};
+use neural::Activation;
+use serve::{
+    HealthState, ModelRegistry, Request, Router, RouterConfig, ServeConfig, ServeError,
+    SupervisorConfig, Ticket,
+};
+
+/// A dense plan whose output is constantly `marker` (zero weights,
+/// `marker` bias): responses reveal exactly which version served them.
+fn marker_plan(marker: f32) -> Arc<FrozenPlan> {
+    let spec = NetworkSpec::new(4).layer(LayerSpec::Dense {
+        units: 2,
+        activation: Activation::Linear,
+    });
+    let weights = vec![vec![vec![0.0; 8], vec![marker; 2]]];
+    Arc::new(FrozenPlan::from_spec_weights("marker", &spec, &weights).unwrap())
+}
+
+fn registry_with_versions(versions: &[(u32, f32)]) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    for &(version, marker) in versions {
+        registry.publish_plan("m", version, marker_plan(marker));
+    }
+    registry
+}
+
+/// Fast supervision so chaos tests converge in tens of milliseconds.
+fn chaos_config(shards: usize) -> RouterConfig {
+    RouterConfig {
+        shards,
+        engine: ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_linger: Duration::from_micros(200),
+            default_deadline: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+        supervisor: SupervisorConfig {
+            tick: Duration::from_millis(5),
+            stall_deadline: Duration::from_millis(60),
+            restart_backoff_base: Duration::from_millis(10),
+            max_restart_backoff: Duration::from_millis(100),
+            ..SupervisorConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+/// Polls until every admitted request has a terminal outcome (the
+/// conservation sum closes) or the timeout expires.
+fn wait_quiesced(router: &Router, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let total = router.report().total;
+        let terminal = total.requests_completed
+            + total.requests_failed
+            + total.requests_timed_out
+            + total.requests_drained;
+        if terminal == total.requests_submitted {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn wait_for(timeout: Duration, mut condition: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if condition() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Asserts the cross-shard conservation invariant on the final report.
+fn assert_conserved(router: &Router) {
+    assert!(
+        wait_quiesced(router, Duration::from_secs(5)),
+        "tier never quiesced: {:?}",
+        router.report()
+    );
+    let report = router.report();
+    let terminal = report.total.requests_completed
+        + report.total.requests_failed
+        + report.total.requests_timed_out
+        + report.total.requests_drained;
+    assert_eq!(
+        report.total.requests_submitted, terminal,
+        "conservation violated: {report:?}"
+    );
+}
+
+#[test]
+fn worker_panic_conserves_every_request_and_shard_restarts() {
+    // Shard 0's single worker panics on its first batch; shard 1 stays
+    // healthy. The supervisor must fail shard 0 over (re-routing its
+    // queue), restart it, and no ticket may hang or go missing.
+    let registry = registry_with_versions(&[(1, 1.0)]);
+    let faults = Arc::new(FaultPlan::new().with_worker_panic(0, 0));
+    let router =
+        Router::start_with_faults(registry, chaos_config(2), Some(faults)).unwrap();
+
+    let tickets: Vec<Ticket> = (0..120)
+        .map(|_| router.submit(Request::new("m", vec![0.0; 4])).unwrap())
+        .collect();
+
+    let mut completed = 0u64;
+    let mut crashed = 0u64;
+    let mut other = 0u64;
+    for ticket in tickets {
+        // The hard guarantee: wait() always returns.
+        match ticket.wait() {
+            Ok(prediction) => {
+                assert_eq!(prediction.output, vec![1.0, 1.0]);
+                completed += 1;
+            }
+            Err(ServeError::WorkerCrashed) => crashed += 1,
+            Err(_) => other += 1,
+        }
+    }
+    assert_eq!(completed + crashed + other, 120);
+    // The panicked batch (≤ max_batch requests in the worker's hands)
+    // crash-completes; everything queued behind it must be re-routed
+    // and served, not lost.
+    assert!(crashed <= 4, "at most one batch may crash, got {crashed}");
+    assert!(completed >= 116, "re-routed requests must complete, got {completed}");
+
+    assert_conserved(&router);
+    let report = router.report();
+    assert!(report.failovers >= 1, "supervisor never failed over: {report:?}");
+    assert!(
+        wait_for(Duration::from_secs(2), || router.report().restarts >= 1),
+        "shard 0 was never restarted"
+    );
+    assert!(wait_for(Duration::from_secs(2), || {
+        router.shard_health(0) == Some(HealthState::Healthy)
+    }));
+
+    // The recovered tier serves again — including on shard 0.
+    for _ in 0..8 {
+        let prediction = router
+            .submit(Request::new("m", vec![0.0; 4]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(prediction.output, vec![1.0, 1.0]);
+    }
+    assert_conserved(&router);
+    router.shutdown();
+}
+
+#[test]
+fn stalled_shard_fails_over_and_conserves() {
+    // Shard 0's first batch stalls for 400ms — far past the 60ms stall
+    // deadline. The supervisor must detect the wedged worker via its
+    // heartbeat, fail the shard over without joining the stuck thread,
+    // and re-route the backlog. The detached worker finishes its batch
+    // late; those requests complete rather than vanish.
+    let registry = registry_with_versions(&[(1, 1.0)]);
+    let faults = Arc::new(FaultPlan::new().with_stall_batch(0, 0, 400));
+    let router =
+        Router::start_with_faults(registry, chaos_config(2), Some(faults)).unwrap();
+
+    let tickets: Vec<Ticket> = (0..80)
+        .map(|_| router.submit(Request::new("m", vec![0.0; 4])).unwrap())
+        .collect();
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(prediction) => assert_eq!(prediction.output, vec![1.0, 1.0]),
+            Err(err) => panic!("a stall must delay requests, not fail them: {err}"),
+        }
+    }
+
+    assert_conserved(&router);
+    let report = router.report();
+    assert!(report.failovers >= 1, "stall was never detected: {report:?}");
+    assert_eq!(report.total.requests_failed, 0, "{report:?}");
+    router.shutdown();
+}
+
+#[test]
+fn injected_registry_load_error_aborts_the_upgrade_cleanly() {
+    let registry = registry_with_versions(&[(1, 1.0), (2, 2.0)]);
+    // Load 0 is the initial pin-to-v1 swap; the injected error hits
+    // load 1 — the upgrade attempt.
+    let faults = Arc::new(FaultPlan::new().with_registry_load_error(1));
+    let router =
+        Router::start_with_faults(registry, chaos_config(2), Some(faults)).unwrap();
+    router.rolling_swap("m", 1).unwrap();
+
+    // First upgrade attempt hits the injected load error before any
+    // shard is touched.
+    assert!(matches!(router.rolling_swap("m", 2), Err(ServeError::Store(_))));
+    // The fleet still serves v1 and no shard is stuck cordoned.
+    let prediction = router
+        .submit(Request::new("m", vec![0.0; 4]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(prediction.model_version, 1);
+
+    // The retry (fault fires once) completes the upgrade.
+    let swap = router.rolling_swap("m", 2).unwrap();
+    assert_eq!(swap.shards_swapped, 2);
+    let prediction = router
+        .submit(Request::new("m", vec![0.0; 4]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(prediction.model_version, 2);
+    assert_conserved(&router);
+    router.shutdown();
+}
+
+#[test]
+fn canary_crash_mid_upgrade_rolls_back_and_recovers() {
+    // Shard 0's worker panics on its very first batch — which is the
+    // canary request of the rolling upgrade. The swap must fail with a
+    // canary error, roll the shard's pin back, and leave the tier
+    // consistent; after the supervisor restarts the shard, the upgrade
+    // succeeds.
+    let registry = registry_with_versions(&[(1, 1.0), (2, 2.0)]);
+    let faults = Arc::new(FaultPlan::new().with_worker_panic(0, 0));
+    let router =
+        Router::start_with_faults(registry, chaos_config(2), Some(faults)).unwrap();
+
+    match router.rolling_swap("m", 2) {
+        Err(ServeError::CanaryFailed { version: 2, .. }) => {}
+        other => panic!("expected a canary failure, got {other:?}"),
+    }
+    // Conservation holds even for the crashed canary request itself.
+    assert_conserved(&router);
+
+    // Supervisor restarts the shard; the retried upgrade goes through.
+    assert!(
+        wait_for(Duration::from_secs(2), || {
+            router.shard_health(0) == Some(HealthState::Healthy) && router.report().restarts >= 1
+        }),
+        "shard 0 never recovered: {:?}",
+        router.report()
+    );
+    let swap = router.rolling_swap("m", 2).unwrap();
+    assert_eq!(swap.shards_swapped, 2);
+    let prediction = router
+        .submit(Request::new("m", vec![0.0; 4]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(prediction.model_version, 2);
+    assert_conserved(&router);
+    router.shutdown();
+}
+
+#[test]
+fn rolling_swap_drops_nothing_and_serves_no_stale_version() {
+    // The zero-drop invariant under live traffic: a rolling upgrade
+    // from v1 to v2 while submitters hammer the tier must lose no
+    // in-flight request (no crash/drain/timeout terminals), and every
+    // request submitted after the swap completes must be served by v2.
+    let registry = registry_with_versions(&[(1, 1.0), (2, 2.0)]);
+    let mut config = chaos_config(2);
+    config.engine.workers = 2;
+    let router = Arc::new(Router::start(registry, config).unwrap());
+    router.rolling_swap("m", 1).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitter = {
+        let router = Arc::clone(&router);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut outcomes: Vec<(Ticket, Instant)> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(ticket) = router.submit(Request::new("m", vec![0.0; 4])) {
+                    outcomes.push((ticket, Instant::now()));
+                }
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            outcomes
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(20));
+    let swap = router.rolling_swap("m", 2).unwrap();
+    let swap_done = Instant::now();
+    assert_eq!(swap.shards_swapped, 2);
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    let outcomes = submitter.join().unwrap();
+    assert!(outcomes.len() > 20, "submitter barely ran: {}", outcomes.len());
+
+    for (ticket, submitted_at) in outcomes {
+        let prediction = ticket
+            .wait()
+            .expect("a rolling swap must not fail any in-flight request");
+        let marker = prediction.model_version as f32;
+        assert_eq!(
+            prediction.output,
+            vec![marker, marker],
+            "torn or mismatched response"
+        );
+        if submitted_at >= swap_done {
+            assert_eq!(
+                prediction.model_version, 2,
+                "stale version served after the swap completed"
+            );
+        }
+    }
+
+    assert_conserved(&router);
+    let report = router.report();
+    assert_eq!(report.total.requests_failed, 0, "dropped requests: {report:?}");
+    assert_eq!(report.total.requests_drained, 0, "drained mid-swap: {report:?}");
+    assert_eq!(report.total.requests_timed_out, 0, "timed out mid-swap: {report:?}");
+    if let Ok(router) = Arc::try_unwrap(router) {
+        router.shutdown();
+    }
+}
