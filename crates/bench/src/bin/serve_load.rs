@@ -20,6 +20,14 @@
 //! fails the shard over, restarts it, and every submission reaches a
 //! terminal outcome (conservation). The JSON gains the per-shard and
 //! failover counters.
+//!
+//! `--arrival <poisson|bursty|diurnal>` switches the driver from the
+//! closed loop (front-load everything, then wait) to an *open-loop*
+//! arrival process (`bench::arrival`): requests are submitted on a
+//! seeded schedule independent of completions, so backpressure and
+//! admission control face a workload that does not politely slow down.
+//! Shed submissions (queue-full / admission rejections) are counted, and
+//! the conservation check becomes offered = served + shed.
 
 #![forbid(unsafe_code)]
 
@@ -27,13 +35,14 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bench::arrival::ArrivalProcess;
 use bench::{banner, pick, write_csv, TraceSession};
 use datastore::Store;
 use faultsim::FaultPlan;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serve::{
-    Engine, ModelRegistry, Request, RetryPolicy, Router, RouterConfig, ServeConfig,
+    Engine, ModelRegistry, Request, RetryPolicy, Router, RouterConfig, ServeConfig, SubmitError,
     SupervisorConfig, Ticket,
 };
 use spectroai::pipeline::deploy::deploy_network;
@@ -51,9 +60,39 @@ fn shards_arg() -> Option<usize> {
         .and_then(|n| n.parse().ok())
 }
 
+/// `--arrival <kind>` from argv, if present.
+fn arrival_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--arrival")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Builds the requested open-loop process at a rate the serving tier can
+/// sustain (anchored to the measured sequential baseline, so quick and
+/// full scales both finish promptly).
+fn arrival_process(kind: &str, sequential_rps: f64, n_requests: usize) -> ArrivalProcess {
+    let base = (sequential_rps * 0.6).max(500.0);
+    match kind {
+        "poisson" => ArrivalProcess::poisson(97, base),
+        "bursty" => ArrivalProcess::bursty(97, base * 0.4, 6.0, 40.0, 80.0),
+        "diurnal" => {
+            // Two full cycles across the run's nominal span.
+            let span_us = n_requests as f64 / base * 1e6;
+            ArrivalProcess::diurnal(97, base * 0.4, 4.0, (span_us / 2.0).max(10_000.0))
+        }
+        other => {
+            eprintln!("unknown --arrival kind {other:?}; expected poisson|bursty|diurnal");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let chaos = std::env::args().any(|a| a == "--chaos");
+    let arrival = arrival_arg();
     let shards = shards_arg().or(if chaos { Some(4) } else { None });
     banner(
         "serve_load — batched inference serving on the Table-1 MS network",
@@ -120,9 +159,15 @@ fn main() {
         base_delay_ms: 1,
         backoff: 1.5,
     };
+    let process = arrival
+        .as_deref()
+        .map(|kind| arrival_process(kind, sequential_rps, n_requests));
+    if let Some(kind) = &arrival {
+        println!("arrival:    open-loop {kind} process (seeded, rate anchored to baseline)");
+    }
     let outcome = match shards {
-        Some(n) => serve_sharded(&registry, &inputs, &expected, &config, n, chaos, retry),
-        None => serve_single(&registry, &inputs, &expected, &config, retry),
+        Some(n) => serve_sharded(&registry, &inputs, &expected, &config, n, chaos, retry, process),
+        None => serve_single(&registry, &inputs, &expected, &config, retry, process),
     };
     if let Some(trace_path) = trace.finish() {
         validate_trace(&trace_path);
@@ -164,6 +209,29 @@ fn main() {
             outcome.crashed,
         );
     }
+    if let Some(kind) = &arrival {
+        // Open-loop gates: every offered request reached a terminal fate
+        // (served or explicitly shed — never silently lost), and the
+        // driver kept to its schedule.
+        assert_eq!(
+            outcome.offered,
+            n_requests,
+            "open-loop driver must offer the whole schedule"
+        );
+        assert_eq!(
+            outcome.served + outcome.shed + outcome.crashed,
+            outcome.offered,
+            "open-loop conservation: served {} + shed {} + crashed {} != offered {}",
+            outcome.served,
+            outcome.shed,
+            outcome.crashed,
+            outcome.offered
+        );
+        println!(
+            "open-loop:  {kind} offered {} served {} shed {} (max schedule lag {:.0}us)",
+            outcome.offered, outcome.served, outcome.shed, outcome.behind_max_us
+        );
+    }
     if chaos {
         // The chaos acceptance gates: zero lost requests (conservation),
         // the supervisor actually failed over and restarted the shard,
@@ -187,7 +255,7 @@ fn main() {
         );
         println!("chaos:      conservation holds ({terminal}/{} terminal)", report.requests_submitted);
     }
-    if !smoke && !chaos {
+    if !smoke && !chaos && arrival.is_none() {
         assert!(
             speedup > 1.0,
             "multi-worker batched serving should beat the sequential baseline \
@@ -218,6 +286,10 @@ fn main() {
         "smoke": smoke,
         "shards": shards,
         "chaos": chaos,
+        "arrival": arrival,
+        "offered": outcome.offered,
+        "served": outcome.served,
+        "shed": outcome.shed,
         "failovers": outcome.router.as_ref().map_or(0, |r| r.failovers),
         "restarts": outcome.router.as_ref().map_or(0, |r| r.restarts),
         "router": router_json,
@@ -238,6 +310,19 @@ fn main() {
         "model_fit": fit,
     });
     let out = repo_root().join("BENCH_serve.json");
+    // Carry a monitor_loop section forward if that bench wrote first, so
+    // the two publishers can run in either order.
+    let mut json = json;
+    let previous = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .and_then(|doc| match doc {
+            serde_json::Value::Object(mut map) => map.remove("monitor_loop"),
+            _ => None,
+        });
+    if let (Some(section), serde_json::Value::Object(map)) = (previous, &mut json) {
+        map.insert("monitor_loop".to_string(), section);
+    }
     let pretty = serde_json::to_string_pretty(&json).expect("serialize report");
     std::fs::write(&out, pretty).expect("write BENCH_serve.json");
     println!("wrote {}", out.display());
@@ -267,34 +352,114 @@ struct RunOutcome {
     /// Requests resolved with `WorkerCrashed` (chaos runs only).
     crashed: usize,
     router: Option<serve::RouterReport>,
+    /// Requests the driver offered (== the full schedule).
+    offered: usize,
+    /// Requests that completed with a prediction.
+    served: usize,
+    /// Open-loop submissions rejected by backpressure/admission control.
+    shed: usize,
+    /// Worst lag of the open-loop driver behind its schedule (µs).
+    behind_max_us: f64,
+}
+
+/// What the open-loop pacing stage produced: accepted tickets tagged
+/// with their input index, plus shed/lag accounting.
+struct OpenLoopDrive {
+    tickets: Vec<(usize, Ticket)>,
+    shed: usize,
+    behind_max_us: f64,
+}
+
+/// Replays a seeded arrival schedule against the wall clock, submitting
+/// each request at its scheduled instant regardless of completions.
+/// Backpressure rejections are shed (counted, not retried) — the open
+/// loop never slows down for the server.
+fn drive_open_loop(
+    submit: &dyn Fn(Request) -> Result<Ticket, SubmitError>,
+    inputs: &[Vec<f32>],
+    mut process: ArrivalProcess,
+) -> OpenLoopDrive {
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(inputs.len());
+    let mut shed = 0usize;
+    let mut behind_max_us = 0f64;
+    for (index, x) in inputs.iter().enumerate() {
+        let due_us = process.next_arrival_us();
+        loop {
+            let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+            if elapsed_us >= due_us {
+                behind_max_us = behind_max_us.max(elapsed_us - due_us);
+                break;
+            }
+            let gap_us = due_us - elapsed_us;
+            if gap_us > 300.0 {
+                std::thread::sleep(Duration::from_micros((gap_us - 200.0) as u64));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        match submit(Request::new("table1-ms", x.clone())) {
+            Ok(ticket) => tickets.push((index, ticket)),
+            Err(
+                SubmitError::QueueFull { .. }
+                | SubmitError::Overloaded { .. }
+                | SubmitError::WouldMissDeadline { .. }
+                | SubmitError::NoHealthyShard,
+            ) => shed += 1,
+            Err(err) => panic!("open-loop submit must not fail structurally: {err}"),
+        }
+    }
+    OpenLoopDrive {
+        tickets,
+        shed,
+        behind_max_us,
+    }
 }
 
 /// The original single-engine path: one `Engine`, no supervision.
+#[allow(clippy::too_many_arguments)]
 fn serve_single(
     registry: &Arc<ModelRegistry>,
     inputs: &[Vec<f32>],
     expected: &[Vec<f32>],
     config: &ServeConfig,
     retry: RetryPolicy,
+    arrival: Option<ArrivalProcess>,
 ) -> RunOutcome {
     let engine = Engine::start(Arc::clone(registry), config.clone()).expect("start serve engine");
     let started = Instant::now();
-    let tickets: Vec<Ticket> = inputs
-        .iter()
-        .map(|x| {
-            engine
-                .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
-                .expect("submission should succeed within the retry budget")
-        })
-        .collect();
+    let (tickets, shed, behind_max_us) = match arrival {
+        Some(process) => {
+            let drive = drive_open_loop(&|req| engine.submit(req), inputs, process);
+            (drive.tickets, drive.shed, drive.behind_max_us)
+        }
+        None => (
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    (
+                        i,
+                        engine
+                            .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
+                            .expect("submission should succeed within the retry budget"),
+                    )
+                })
+                .collect(),
+            0,
+            0.0,
+        ),
+    };
     let mut mismatches = 0usize;
     let mut max_batch_seen = 0usize;
-    for (ticket, want) in tickets.into_iter().zip(expected) {
+    let mut served = 0usize;
+    for (index, ticket) in tickets {
         let prediction = ticket.wait().expect("request should complete");
-        if &prediction.output != want {
+        if prediction.output != expected[index] {
             mismatches += 1;
         }
         max_batch_seen = max_batch_seen.max(prediction.batch_size);
+        served += 1;
     }
     let served_seconds = started.elapsed().as_secs_f64();
     let report = engine.metrics().report();
@@ -306,6 +471,10 @@ fn serve_single(
         mismatches,
         crashed: 0,
         router: None,
+        offered: inputs.len(),
+        served,
+        shed,
+        behind_max_us,
     }
 }
 
@@ -313,6 +482,7 @@ fn serve_single(
 /// `chaos`, a deterministic fault plan panics a worker in shard 0 and
 /// stalls a batch in shard 1 mid-run; the supervisor must fail both
 /// shards over and restart them while every ticket still resolves.
+#[allow(clippy::too_many_arguments)]
 fn serve_sharded(
     registry: &Arc<ModelRegistry>,
     inputs: &[Vec<f32>],
@@ -321,6 +491,7 @@ fn serve_sharded(
     shards: usize,
     chaos: bool,
     retry: RetryPolicy,
+    arrival: Option<ArrivalProcess>,
 ) -> RunOutcome {
     let router_config = RouterConfig {
         shards,
@@ -348,24 +519,40 @@ fn serve_sharded(
         .expect("start sharded router");
 
     let started = Instant::now();
-    let tickets: Vec<Ticket> = inputs
-        .iter()
-        .map(|x| {
-            router
-                .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
-                .expect("submission should succeed within the retry budget")
-        })
-        .collect();
+    let (tickets, shed, behind_max_us) = match arrival {
+        Some(process) => {
+            let drive = drive_open_loop(&|req| router.submit(req), inputs, process);
+            (drive.tickets, drive.shed, drive.behind_max_us)
+        }
+        None => (
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    (
+                        i,
+                        router
+                            .submit_with_retry(Request::new("table1-ms", x.clone()), retry)
+                            .expect("submission should succeed within the retry budget"),
+                    )
+                })
+                .collect::<Vec<(usize, Ticket)>>(),
+            0,
+            0.0,
+        ),
+    };
     let mut mismatches = 0usize;
     let mut max_batch_seen = 0usize;
     let mut crashed = 0usize;
-    for (ticket, want) in tickets.into_iter().zip(expected) {
+    let mut served = 0usize;
+    for (index, ticket) in tickets {
         match ticket.wait() {
             Ok(prediction) => {
-                if &prediction.output != want {
+                if prediction.output != expected[index] {
                     mismatches += 1;
                 }
                 max_batch_seen = max_batch_seen.max(prediction.batch_size);
+                served += 1;
             }
             Err(serve::ServeError::WorkerCrashed) if chaos => crashed += 1,
             Err(err) => panic!("request must not fail outside injected faults: {err}"),
@@ -401,6 +588,10 @@ fn serve_sharded(
         mismatches,
         crashed,
         router: Some(report),
+        offered: inputs.len(),
+        served,
+        shed,
+        behind_max_us,
     }
 }
 

@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arrival;
+
 use std::io::Write;
 use std::path::PathBuf;
 

@@ -10,8 +10,27 @@
 //! event log for assertions.
 //!
 //! The plan is internally synchronised and is shared by reference (or
-//! `Arc`) across the training loop, the datastore and the pipeline
-//! runner.
+//! `Arc`) across the training loop, the datastore, the pipeline runner,
+//! the serving tier and the online-monitoring loop.
+//!
+//! # Fault catalogue
+//!
+//! | Constructor | Hook (consulted by) | Effect |
+//! |---|---|---|
+//! | [`FaultPlan::with_nan_batch`] | [`FaultPlan::poison_batch`] (`neural::guard`) | Poisons one training batch with NaN inputs |
+//! | [`FaultPlan::with_stage_failure`] | [`FaultPlan::fail_stage`] (`spectroai::recovery`) | Fails a pipeline stage attempt |
+//! | [`FaultPlan::with_torn_write`] | [`FaultPlan::tear_write`] (`datastore`) | Truncates a persistence write mid-file |
+//! | [`FaultPlan::with_worker_panic`] | [`FaultPlan::batch_fault`] (`serve` worker loop) | Panics a shard worker before a batch |
+//! | [`FaultPlan::arm_worker_panic`] | [`FaultPlan::batch_fault`] (`serve` worker loop) | Panics a shard worker N batches from now (runtime arming, e.g. on a swap canary) |
+//! | [`FaultPlan::with_stall_batch`] | [`FaultPlan::batch_fault`] (`serve` worker loop) | Stalls a batch past the supervisor's deadline |
+//! | [`FaultPlan::with_slow_predict`] | [`FaultPlan::batch_fault`] (`serve` worker loop) | Multiplies one batch's compute time |
+//! | [`FaultPlan::with_registry_load_error`] | [`FaultPlan::fail_registry_load`] (`serve::Router::rolling_swap`) | Fails a registry load / upgrade publish |
+//! | [`FaultPlan::with_sensor_dropout`] | [`FaultPlan::sensor_dropout`] (`monitor` spectra stream) | Drops one stream measurement (sensor blackout) |
+//! | [`FaultPlan::with_characterize_error`] | [`FaultPlan::fail_characterize`] (`monitor` recharacterizer) | Fails one re-characterization attempt |
+//!
+//! Serve-side faults are keyed by `(shard, nth batch)`; stream and
+//! characterization faults are keyed by a plan-lifetime attempt counter,
+//! like torn writes and registry-load errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,6 +84,17 @@ pub enum FaultEvent {
         shard: usize,
         /// Slowdown factor in percent (250 = 2.5× the measured compute).
         factor_pct: u32,
+    },
+    /// A stream measurement was dropped (sensor blackout).
+    SensorDropout {
+        /// Zero-based index of the dropped measurement in plan-lifetime
+        /// order.
+        measurement: u64,
+    },
+    /// A re-characterization attempt was made to fail.
+    CharacterizeError {
+        /// Zero-based index of the failed attempt in plan-lifetime order.
+        attempt: u64,
     },
 }
 
@@ -122,6 +152,10 @@ struct PlanInner {
     batch_counters: BTreeMap<usize, u64>,
     registry_load_errors: BTreeSet<u64>,
     load_counter: u64,
+    sensor_dropouts: BTreeSet<u64>,
+    measurement_counter: u64,
+    characterize_errors: BTreeSet<u64>,
+    characterize_counter: u64,
     events: Vec<FaultEvent>,
 }
 
@@ -224,6 +258,18 @@ impl FaultPlan {
         self
     }
 
+    /// Arms a worker panic on `shard` `after` batches from *now*
+    /// (`after = 0` panics the very next batch), relative to the shard's
+    /// current batch counter. Unlike [`FaultPlan::with_worker_panic`]
+    /// this works on a shared plan mid-run — the monitor loop uses it to
+    /// land a panic exactly on a rolling swap's canary batch, when no
+    /// other traffic is in flight.
+    pub fn arm_worker_panic(&self, shard: usize, after: u64) {
+        let mut inner = self.lock();
+        let current = inner.batch_counters.get(&shard).copied().unwrap_or(0);
+        inner.worker_panics.insert((shard, current + after));
+    }
+
     /// Schedules `shard`'s `nth_batch`-th batch to run `factor_pct`/100×
     /// slower than measured (250 = 2.5× the compute time).
     pub fn with_slow_predict(self, shard: usize, nth_batch: u64, factor_pct: u32) -> Self {
@@ -235,6 +281,21 @@ impl FaultPlan {
     /// order) to fail.
     pub fn with_registry_load_error(self, nth: u64) -> Self {
         self.lock().registry_load_errors.insert(nth);
+        self
+    }
+
+    /// Schedules the `nth` stream measurement (zero-based, in plan
+    /// lifetime order) to be dropped — the sensor returns nothing and the
+    /// monitoring loop must carry on without poisoning its statistics.
+    pub fn with_sensor_dropout(self, nth: u64) -> Self {
+        self.lock().sensor_dropouts.insert(nth);
+        self
+    }
+
+    /// Schedules the `nth` re-characterization attempt (zero-based, in
+    /// plan lifetime order) to fail.
+    pub fn with_characterize_error(self, nth: u64) -> Self {
+        self.lock().characterize_errors.insert(nth);
         self
     }
 
@@ -272,6 +333,38 @@ impl FaultPlan {
             inner
                 .events
                 .push(FaultEvent::RegistryLoadError { load_index: index });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hook for spectra streams: counts one measurement and returns
+    /// `true` if the sensor should drop it (no sample delivered).
+    pub fn sensor_dropout(&self) -> bool {
+        let mut inner = self.lock();
+        let index = inner.measurement_counter;
+        inner.measurement_counter += 1;
+        if inner.sensor_dropouts.remove(&index) {
+            inner
+                .events
+                .push(FaultEvent::SensorDropout { measurement: index });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hook for re-characterization: counts one attempt and returns
+    /// `true` if it should fail.
+    pub fn fail_characterize(&self) -> bool {
+        let mut inner = self.lock();
+        let index = inner.characterize_counter;
+        inner.characterize_counter += 1;
+        if inner.characterize_errors.remove(&index) {
+            inner
+                .events
+                .push(FaultEvent::CharacterizeError { attempt: index });
             true
         } else {
             false
@@ -338,6 +431,8 @@ impl FaultPlan {
             + inner.stall_batches.len()
             + inner.slow_predicts.len()
             + inner.registry_load_errors.len()
+            + inner.sensor_dropouts.len()
+            + inner.characterize_errors.len()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PlanInner> {
@@ -476,6 +571,51 @@ mod tests {
     #[should_panic(expected = "injected serve worker panic")]
     fn panic_fault_panics_on_apply() {
         ServeFault::Panic.apply_pre();
+    }
+
+    #[test]
+    fn arm_worker_panic_is_relative_to_current_counter() {
+        let plan = FaultPlan::new();
+        // Advance shard 0's counter by two batches, then arm "next batch".
+        assert!(plan.batch_fault(0).is_none());
+        assert!(plan.batch_fault(0).is_none());
+        plan.arm_worker_panic(0, 0);
+        assert!(matches!(plan.batch_fault(0), Some(ServeFault::Panic)));
+        assert!(plan.batch_fault(0).is_none());
+        // Arming with a delay skips that many batches first.
+        plan.arm_worker_panic(1, 1);
+        assert!(plan.batch_fault(1).is_none());
+        assert!(matches!(plan.batch_fault(1), Some(ServeFault::Panic)));
+    }
+
+    #[test]
+    fn sensor_dropouts_index_by_measurement_order() {
+        let plan = FaultPlan::new().with_sensor_dropout(1).with_sensor_dropout(2);
+        assert!(!plan.sensor_dropout()); // measurement 0
+        assert!(plan.sensor_dropout()); // measurement 1
+        assert!(plan.sensor_dropout()); // measurement 2
+        assert!(!plan.sensor_dropout()); // measurement 3
+        assert_eq!(
+            plan.events(),
+            vec![
+                FaultEvent::SensorDropout { measurement: 1 },
+                FaultEvent::SensorDropout { measurement: 2 },
+            ]
+        );
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn characterize_errors_index_by_attempt_order() {
+        let plan = FaultPlan::new().with_characterize_error(0);
+        assert_eq!(plan.pending(), 1);
+        assert!(plan.fail_characterize()); // attempt 0
+        assert!(!plan.fail_characterize()); // attempt 1
+        assert_eq!(
+            plan.events(),
+            vec![FaultEvent::CharacterizeError { attempt: 0 }]
+        );
+        assert_eq!(plan.pending(), 0);
     }
 
     #[test]

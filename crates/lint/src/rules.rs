@@ -17,10 +17,19 @@ use crate::lexer::{Token, TokenKind};
 /// (`no-unwrap-in-lib` and `panic-reachability`): the serving path, the
 /// model runtime, persistence, the orchestration core, the observability
 /// layer (which instruments all of them and must never take a hot path
-/// down), and the chemometrics/chem analysis stack the paper's pipelines
-/// call from batch jobs.
-pub const PANIC_FREE_CRATES: &[&str] =
-    &["serve", "neural", "datastore", "core", "obs", "chemometrics", "chem"];
+/// down), the chemometrics/chem analysis stack the paper's pipelines
+/// call from batch jobs, and the closed monitoring loop (which runs
+/// unattended and must degrade to accounted errors, never aborts).
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "serve",
+    "neural",
+    "datastore",
+    "core",
+    "obs",
+    "chemometrics",
+    "chem",
+    "monitor",
+];
 
 /// Crates that must stay bit-deterministic (`no-wallclock-nondeterminism`):
 /// the synthetic-spectra simulators, everything that trains or augments
@@ -30,7 +39,9 @@ pub const PANIC_FREE_CRATES: &[&str] =
 pub const DETERMINISTIC_CRATES: &[&str] = &["ms-sim", "nmr-sim", "neural", "chemometrics", "obs"];
 
 /// The crates whose lock acquisitions the `lock-graph` rule checks.
-pub const LOCK_ORDER_CRATES: &[&str] = &["serve", "obs"];
+/// `monitor` holds no locks of its own today but drives `serve`'s
+/// swap/drain paths, so its acquisitions are kept in scope.
+pub const LOCK_ORDER_CRATES: &[&str] = &["serve", "obs", "monitor"];
 
 /// One file prepared for rule matching.
 pub struct FileInput<'a> {

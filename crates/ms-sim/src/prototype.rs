@@ -173,6 +173,23 @@ impl MmsPrototype {
         self.measurements_taken
     }
 
+    /// Replaces the hidden-behaviour configuration mid-run — the hook a
+    /// drift schedule uses to model environment changes (humidity front,
+    /// detector aging) while the measurement RNG stream keeps advancing
+    /// deterministically.
+    pub fn set_config(&mut self, config: PrototypeConfig) {
+        self.config = config;
+    }
+
+    /// Replaces the *true* instrument parameters mid-run — the hook a
+    /// drift schedule uses to change the spectrum's shape (attenuation
+    /// steepening, mass-calibration walk, peak broadening). These are the
+    /// parameters [`crate::characterize`] can re-estimate, so drift
+    /// injected here is repairable by re-characterization.
+    pub fn set_instrument(&mut self, instrument: InstrumentModel) {
+        self.instrument = instrument;
+    }
+
     /// Performs one measurement of `mixture`.
     ///
     /// # Errors
@@ -361,6 +378,48 @@ mod tests {
             / peaks.len() as f64)
             .sqrt();
         assert!(sd / mean > 0.05, "relative sd {}", sd / mean);
+    }
+
+    #[test]
+    fn drift_injection_changes_shape_deterministically() {
+        let mut stable = MmsPrototype::with_config(21, ideal_config());
+        let mut drifted = MmsPrototype::with_config(21, ideal_config());
+        // Same RNG stream, same config: identical until the instrument mutates.
+        assert_eq!(
+            stable.measure(&air()).unwrap(),
+            drifted.measure(&air()).unwrap()
+        );
+        let mut instrument = drifted.true_instrument().clone();
+        instrument.attenuation.rate = -1.0 / 60.0;
+        instrument.mass_offset += 0.3;
+        drifted.set_instrument(instrument);
+        let a = stable.measure(&air()).unwrap();
+        let b = drifted.measure(&air()).unwrap();
+        assert_ne!(a.spectrum, b.spectrum);
+        // Steeper attenuation suppresses the high-mass Ar line relative
+        // to the stable instrument.
+        assert!(b.spectrum.sample_at(40.0) < a.spectrum.sample_at(40.0));
+        // And the same mutation on the same seed replays bit-identically.
+        let mut replay = MmsPrototype::with_config(21, ideal_config());
+        replay.measure(&air()).unwrap();
+        let mut instrument = replay.true_instrument().clone();
+        instrument.attenuation.rate = -1.0 / 60.0;
+        instrument.mass_offset += 0.3;
+        replay.set_instrument(instrument);
+        assert_eq!(replay.measure(&air()).unwrap(), b);
+    }
+
+    #[test]
+    fn config_injection_takes_effect_mid_run() {
+        let mut mms = MmsPrototype::with_config(9, ideal_config());
+        mms.measure(&Mixture::pure("N2")).unwrap();
+        mms.set_config(PrototypeConfig {
+            humidity_level: 0.08,
+            ..ideal_config()
+        });
+        let humid = mms.measure(&Mixture::pure("N2")).unwrap();
+        assert!(humid.spectrum.sample_at(18.0) > 0.01);
+        assert_eq!(mms.config().humidity_level, 0.08);
     }
 
     #[test]

@@ -194,6 +194,16 @@ pub enum ServeError {
         /// What went wrong with the canary.
         reason: String,
     },
+    /// A gated publication was rejected: the guard gate vetoed the
+    /// candidate before it became visible, so no reader ever resolved it.
+    GateRejected {
+        /// The model being published.
+        model: String,
+        /// The candidate version the gate vetoed.
+        version: u32,
+        /// Why the gate said no.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -214,6 +224,11 @@ impl fmt::Display for ServeError {
                 version,
                 reason,
             } => write!(f, "canary failed for {model} v{version}: {reason}"),
+            ServeError::GateRejected {
+                model,
+                version,
+                reason,
+            } => write!(f, "gate rejected {model} v{version}: {reason}"),
         }
     }
 }

@@ -62,6 +62,51 @@ impl ModelRegistry {
             .insert(version, plan);
     }
 
+    /// Compiles `exported` and runs `gate` over the candidate plan
+    /// *before* it becomes visible; only a gate pass inserts it.
+    ///
+    /// This closes the publication race the plain
+    /// [`ModelRegistry::publish`] + check-after-insert pattern had: a
+    /// concurrent reader calling [`ModelRegistry::latest`] /
+    /// [`ModelRegistry::resolve`] with `version: None` between the insert
+    /// and the gate verdict would observe (and start serving) a version
+    /// the guard had not yet cleared. With `publish_gated` the candidate
+    /// lives only on this call's stack until the gate approves, so an
+    /// un-gated version is unobservable by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Neural`] if compilation/validation fails,
+    /// [`ServeError::GateRejected`] (carrying the gate's reason) if the
+    /// gate vetoes the candidate. Either way the registry is unchanged.
+    pub fn publish_gated(
+        &self,
+        name: &str,
+        version: u32,
+        exported: &ExportedNetwork,
+        gate: impl FnOnce(&FrozenPlan) -> Result<(), String>,
+    ) -> Result<Arc<FrozenPlan>, ServeError> {
+        let plan = Arc::new(FrozenPlan::compile(exported)?);
+        gate(&plan).map_err(|reason| ServeError::GateRejected {
+            model: name.to_string(),
+            version,
+            reason,
+        })?;
+        self.publish_plan(name, version, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The newest published version of `name`, if any. Because every
+    /// publication path inserts only fully validated (and, via
+    /// [`ModelRegistry::publish_gated`], gated) plans, a version returned
+    /// here is always safe to serve.
+    pub fn latest(&self, name: &str) -> Option<u32> {
+        self.models
+            .read()
+            .get(name)
+            .and_then(|versions| versions.keys().next_back().copied())
+    }
+
     /// Removes one version (or the whole model, if no versions remain).
     /// Returns `true` if something was removed. In-flight requests on the
     /// retired plan still finish.
@@ -130,12 +175,21 @@ impl ModelRegistry {
     /// re-deployments naturally become newer versions. Returns the number
     /// of plans published.
     ///
+    /// The load is all-or-nothing: every document is deserialized,
+    /// compiled and validated into a staging set first, and only a fully
+    /// successful staging pass is committed (under one write lock). A
+    /// reader racing the load therefore sees either none of the
+    /// collection's plans or all of them — never a half-loaded registry
+    /// whose `latest()` points at an artifact that a later document would
+    /// have invalidated the load with.
+    ///
     /// # Errors
     ///
     /// Returns [`ServeError::Store`] if a payload does not deserialize,
-    /// or [`ServeError::Neural`] if an artifact fails validation.
+    /// or [`ServeError::Neural`] if an artifact fails validation. On
+    /// error the registry is untouched.
     pub fn load_from_store(&self, store: &Store, collection: &str) -> Result<usize, ServeError> {
-        let mut loaded = 0;
+        let mut staged: Vec<(String, u32, Arc<FrozenPlan>)> = Vec::new();
         for doc in store.collection(collection) {
             let exported: ExportedNetwork = serde_json::from_value(doc.payload)
                 .map_err(|e| ServeError::Store(format!("document {}: {e}", doc.id)))?;
@@ -151,8 +205,12 @@ impl ModelRegistry {
                 .get(VERSION_PARAM)
                 .and_then(|v| v.parse::<u32>().ok())
                 .unwrap_or(doc.metadata.sequence as u32);
-            self.publish(&name, version, &exported)?;
-            loaded += 1;
+            staged.push((name, version, Arc::new(FrozenPlan::compile(&exported)?)));
+        }
+        let loaded = staged.len();
+        let mut models = self.models.write();
+        for (name, version, plan) in staged {
+            models.entry(name).or_default().insert(version, plan);
         }
         Ok(loaded)
     }
@@ -265,6 +323,130 @@ mod tests {
         assert_eq!(loaded, 2);
         assert_eq!(registry.resolve("ms", None).unwrap().0, 7);
         assert!(registry.resolve("nmr", None).unwrap().0 >= 1);
+    }
+
+    #[test]
+    fn latest_tracks_newest_version() {
+        let registry = ModelRegistry::new();
+        assert_eq!(registry.latest("ms"), None);
+        registry.publish("ms", 2, &exported(1)).unwrap();
+        registry.publish("ms", 5, &exported(2)).unwrap();
+        assert_eq!(registry.latest("ms"), Some(5));
+        registry.retire("ms", 5);
+        assert_eq!(registry.latest("ms"), Some(2));
+    }
+
+    #[test]
+    fn gate_rejection_leaves_registry_untouched() {
+        let registry = ModelRegistry::new();
+        registry.publish("ms", 1, &exported(1)).unwrap();
+        let err = registry
+            .publish_gated("ms", 2, &exported(2), |_| Err("loss diverged".into()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::GateRejected { version: 2, .. }
+        ));
+        assert_eq!(registry.latest("ms"), Some(1));
+        assert_eq!(registry.versions("ms"), vec![1]);
+        // A passing gate publishes normally.
+        registry
+            .publish_gated("ms", 2, &exported(2), |plan| {
+                if plan.input_len() == 3 {
+                    Ok(())
+                } else {
+                    Err("wrong input width".into())
+                }
+            })
+            .unwrap();
+        assert_eq!(registry.latest("ms"), Some(2));
+    }
+
+    /// Regression test for the publication race: while a deploy is
+    /// mid-flight (compiling, gating, even failing its gate), concurrent
+    /// `latest()` / `resolve(None)` readers must never observe the
+    /// candidate version. With the old insert-then-check pattern a reader
+    /// could resolve the un-gated version in the window before the gate
+    /// verdict; `publish_gated` keeps the candidate off the registry
+    /// until the gate passes.
+    #[test]
+    fn readers_never_observe_ungated_versions() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("ms", 1, &exported(1)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let observations = Arc::new(AtomicU64::new(0));
+
+        let reader = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let observations = Arc::clone(&observations);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(latest) = registry.latest("ms") {
+                        // Version 2's gate always rejects below, so 2 must
+                        // never become the newest visible version; version
+                        // 3 only becomes visible *after* its gate passed.
+                        assert!(latest == 1 || latest == 3, "observed un-gated v{latest}");
+                        let (resolved, _) = registry.resolve("ms", None).unwrap();
+                        assert!(resolved == 1 || resolved == 3);
+                        observations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+
+        // Keep hammering rejected publications until the reader has
+        // demonstrably raced a healthy number of them.
+        let mut rounds = 0u64;
+        while observations.load(Ordering::Relaxed) < 200 && rounds < 200_000 {
+            let err = registry
+                .publish_gated("ms", 2, &exported(2), |_| Err("divergence guard".into()))
+                .unwrap_err();
+            assert!(matches!(err, ServeError::GateRejected { .. }));
+            rounds += 1;
+        }
+        registry
+            .publish_gated("ms", 3, &exported(3), |_| Ok(()))
+            .unwrap();
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert!(
+            observations.load(Ordering::Relaxed) > 0,
+            "reader never ran concurrently"
+        );
+        assert_eq!(registry.versions("ms"), vec![1, 3]);
+    }
+
+    #[test]
+    fn load_from_store_is_all_or_nothing() {
+        let store = Store::in_memory();
+        store
+            .insert(
+                "deployed_models",
+                Metadata::created_by("deploy")
+                    .with_param(MODEL_PARAM, "ms")
+                    .with_param(VERSION_PARAM, "4"),
+                &exported(1),
+            )
+            .unwrap();
+        let mut bad = exported(2);
+        bad.weights[0][1].pop();
+        store
+            .insert(
+                "deployed_models",
+                Metadata::created_by("deploy")
+                    .with_param(MODEL_PARAM, "ms")
+                    .with_param(VERSION_PARAM, "5"),
+                &bad,
+            )
+            .unwrap();
+        let registry = ModelRegistry::new();
+        assert!(registry.load_from_store(&store, "deployed_models").is_err());
+        // The valid v4 document must not have been committed either.
+        assert_eq!(registry.latest("ms"), None);
+        assert!(registry.names().is_empty());
     }
 
     #[test]
