@@ -21,6 +21,20 @@ pub struct Suppression {
     pub reason: String,
 }
 
+/// One declared per-field atomic ordering contract: which `Ordering`s the
+/// field's operations may use, and why that is correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicContract {
+    /// Crate-qualified field name, e.g. `serve::stop`.
+    pub field: String,
+    /// Allowed `Ordering` names (`Relaxed`, `Acquire`, ...). An operation
+    /// on the field using any other ordering is a finding.
+    pub allowed: Vec<String>,
+    /// Why the declared orderings are sufficient — required, so every
+    /// contract documents its own correctness argument.
+    pub reason: String,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintConfig {
@@ -35,6 +49,9 @@ pub struct LintConfig {
     /// treated as hot by `alloc-in-hot-path`, in addition to any function
     /// carrying a `// lint: hot` marker.
     pub hot_paths: Vec<String>,
+    /// Per-field atomic ordering contracts for the `atomic-ordering`
+    /// rule. Every atomic field in the checked crates must have one.
+    pub atomics: Vec<AtomicContract>,
     /// Baseline suppressions.
     pub suppressions: Vec<Suppression>,
 }
@@ -68,6 +85,10 @@ impl LintConfig {
                     "suppress" => {
                         flush(&mut section, &mut config, lineno)?;
                         section = Section::Suppress(PartialSuppression::default());
+                    }
+                    "atomics" => {
+                        flush(&mut section, &mut config, lineno)?;
+                        section = Section::Atomics(PartialContract::default());
                     }
                     other => return Err(format!("line {lineno}: unknown table [[{other}]]")),
                 }
@@ -130,6 +151,21 @@ impl LintConfig {
                         format!("line {lineno}: line must be an integer")
                     })?);
                 }
+                (Section::Atomics(partial), "field") => {
+                    partial.field = Some(parse_string(value).ok_or_else(|| {
+                        format!("line {lineno}: field must be a quoted string")
+                    })?);
+                }
+                (Section::Atomics(partial), "allowed") => {
+                    partial.allowed = Some(parse_string_array(value).ok_or_else(|| {
+                        format!("line {lineno}: allowed must be a string array")
+                    })?);
+                }
+                (Section::Atomics(partial), "reason") => {
+                    partial.reason = Some(parse_string(value).ok_or_else(|| {
+                        format!("line {lineno}: reason must be a quoted string")
+                    })?);
+                }
                 (_, key) => {
                     return Err(format!("line {lineno}: unexpected key `{key}` here"));
                 }
@@ -148,27 +184,56 @@ struct PartialSuppression {
     reason: Option<String>,
 }
 
+#[derive(Debug, Default)]
+struct PartialContract {
+    field: Option<String>,
+    allowed: Option<Vec<String>>,
+    reason: Option<String>,
+}
+
 enum Section {
     None,
     LockOrder,
     PanicReachability,
     AllocHotPath,
     Suppress(PartialSuppression),
+    Atomics(PartialContract),
 }
 
-/// Completes a pending `[[suppress]]` table when the next section starts
-/// (or the file ends), enforcing that rule/path/reason are all present.
+/// Completes a pending `[[suppress]]` / `[[atomics]]` table when the next
+/// section starts (or the file ends), enforcing the mandatory keys —
+/// including the written `reason` both tables require.
 fn flush(section: &mut Section, config: &mut LintConfig, lineno: usize) -> Result<(), String> {
-    if let Section::Suppress(partial) = std::mem::replace(section, Section::None) {
-        let err = |field: &str| {
-            format!("line {lineno}: [[suppress]] entry ending here is missing `{field}`")
-        };
-        config.suppressions.push(Suppression {
-            rule: partial.rule.ok_or_else(|| err("rule"))?,
-            path: partial.path.ok_or_else(|| err("path"))?,
-            line: partial.line,
-            reason: partial.reason.ok_or_else(|| err("reason"))?,
-        });
+    match std::mem::replace(section, Section::None) {
+        Section::Suppress(partial) => {
+            let err = |field: &str| {
+                format!("line {lineno}: [[suppress]] entry ending here is missing `{field}`")
+            };
+            config.suppressions.push(Suppression {
+                rule: partial.rule.ok_or_else(|| err("rule"))?,
+                path: partial.path.ok_or_else(|| err("path"))?,
+                line: partial.line,
+                reason: partial.reason.ok_or_else(|| err("reason"))?,
+            });
+        }
+        Section::Atomics(partial) => {
+            let err = |field: &str| {
+                format!("line {lineno}: [[atomics]] entry ending here is missing `{field}`")
+            };
+            let contract = AtomicContract {
+                field: partial.field.ok_or_else(|| err("field"))?,
+                allowed: partial.allowed.ok_or_else(|| err("allowed"))?,
+                reason: partial.reason.ok_or_else(|| err("reason"))?,
+            };
+            if contract.allowed.is_empty() {
+                return Err(format!(
+                    "line {lineno}: [[atomics]] `{}` allows no orderings",
+                    contract.field
+                ));
+            }
+            config.atomics.push(contract);
+        }
+        _ => {}
     }
     Ok(())
 }
@@ -306,6 +371,31 @@ paths = ["neural::plan::FrozenPlan::predict", "serve::engine::worker_loop"]
             ["neural::plan::FrozenPlan::predict", "serve::engine::worker_loop"]
         );
         assert!(LintConfig::parse("[panic-reachability]\nindex-panics = maybe\n").is_err());
+    }
+
+    #[test]
+    fn parses_atomic_contracts() {
+        let text = r#"
+[[atomics]]
+field = "serve::stop"
+allowed = ["Relaxed"]
+reason = "pure shutdown flag; polled, never guards data"
+
+[[atomics]]
+field = "obs::seq"
+allowed = ["Acquire", "Release"]
+reason = "publishes journal slots"
+"#;
+        let config = LintConfig::parse(text).unwrap();
+        assert_eq!(config.atomics.len(), 2);
+        assert_eq!(config.atomics[0].field, "serve::stop");
+        assert_eq!(config.atomics[0].allowed, ["Relaxed"]);
+        assert_eq!(config.atomics[1].allowed, ["Acquire", "Release"]);
+        // Missing reason / empty allowed are rejected.
+        let missing = "[[atomics]]\nfield = \"x\"\nallowed = [\"Relaxed\"]\n";
+        assert!(LintConfig::parse(missing).unwrap_err().contains("reason"));
+        let empty = "[[atomics]]\nfield = \"x\"\nallowed = []\nreason = \"r\"\n";
+        assert!(LintConfig::parse(empty).unwrap_err().contains("allows no orderings"));
     }
 
     #[test]

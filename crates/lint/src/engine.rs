@@ -12,6 +12,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::config::LintConfig;
+use crate::dataflow;
 use crate::findings::{Finding, GraphStats, Report, StaleSuppression};
 use crate::graph::{self, CallGraph};
 use crate::lexer;
@@ -109,6 +110,7 @@ pub fn analyze_sources(sources: &[(String, String)], config: &LintConfig) -> Ana
     graph::panic_reachability(&table, &call_graph, config, &mut stats, &mut findings);
     let lock_graph = graph::lock_graph(&table, &call_graph, config, &mut stats, &mut findings);
     graph::alloc_in_hot_path(&table, config, &mut stats, &mut findings);
+    dataflow::dataflow_rules(&table, &call_graph, config, &mut stats, &mut findings);
 
     let cycle_edges: BTreeSet<(String, String)> = graph::find_cycles(&lock_graph)
         .iter()

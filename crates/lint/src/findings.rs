@@ -74,6 +74,13 @@ pub struct GraphStats {
     pub lock_edges: usize,
     /// Functions treated as hot by `alloc-in-hot-path`.
     pub hot_fns: usize,
+    /// Call/wait sites evaluated by the dataflow layer with at least one
+    /// live lock guard.
+    pub guard_live_sites: usize,
+    /// Atomic operation sites classified by `atomic-ordering`.
+    pub atomic_sites: usize,
+    /// Condvar wait sites seen by `condvar-protocol`.
+    pub condvar_waits: usize,
 }
 
 impl GraphStats {
@@ -95,7 +102,8 @@ impl fmt::Display for GraphStats {
             f,
             "symbol graph: {} fn item(s); calls {} resolved / {} external / {} unresolved \
              ({}% resolved of workspace-resolvable); {} entry point(s), {} reachable \
-             panicking fn(s); lock graph {} node(s) / {} edge(s); {} hot fn(s)",
+             panicking fn(s); lock graph {} node(s) / {} edge(s); {} hot fn(s); \
+             dataflow {} guard-live site(s), {} atomic site(s), {} condvar wait(s)",
             self.items,
             self.calls_resolved,
             self.calls_external,
@@ -106,6 +114,9 @@ impl fmt::Display for GraphStats {
             self.lock_nodes,
             self.lock_edges,
             self.hot_fns,
+            self.guard_live_sites,
+            self.atomic_sites,
+            self.condvar_waits,
         )
     }
 }

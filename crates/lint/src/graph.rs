@@ -83,7 +83,7 @@ fn is_entry_point(item: &FnItem) -> bool {
 }
 
 /// Crate directory name (`ms-sim` style) for a workspace-relative path.
-fn crate_dir_of(path: &str) -> &str {
+pub(crate) fn crate_dir_of(path: &str) -> &str {
     let mut parts = path.split('/');
     match (parts.next(), parts.next()) {
         (Some("crates"), Some("compat")) => parts.next().unwrap_or(""),
@@ -226,8 +226,19 @@ struct FnLockFacts {
     calls_holding: Vec<(usize, Vec<String>)>,
 }
 
-/// Replays one function's lock events against the configured lock names.
-fn replay_lock_events(item: &FnItem, lock_names: &[String]) -> FnLockFacts {
+/// Crate-qualified lock identity: `serve::state`, not bare `state`, so
+/// same-named fields in different crates never alias in the lock graph.
+pub(crate) fn qualify_lock(crate_dir: &str, field: &str) -> String {
+    if crate_dir.is_empty() {
+        field.to_string()
+    } else {
+        format!("{crate_dir}::{field}")
+    }
+}
+
+/// Replays one function's lock events against the configured
+/// (crate-qualified) lock names.
+fn replay_lock_events(item: &FnItem, lock_names: &[String], crate_prefix: &str) -> FnLockFacts {
     struct Held {
         binding: Option<String>,
         lock: String,
@@ -252,22 +263,23 @@ fn replay_lock_events(item: &FnItem, lock_names: &[String]) -> FnLockFacts {
                 held.retain(|h| h.binding.as_deref() != Some(name.as_str()));
             }
             LockEvent::Acquire { field, binding, line } => {
-                if !lock_names.contains(field) {
+                let lock = qualify_lock(crate_prefix, field);
+                if !lock_names.contains(&lock) {
                     continue;
                 }
-                facts.acquires.push((field.clone(), *line));
+                facts.acquires.push((lock.clone(), *line));
                 for h in &held {
-                    if &h.lock == field {
-                        facts.reacquires.push((field.clone(), *line));
+                    if h.lock == lock {
+                        facts.reacquires.push((lock.clone(), *line));
                     } else {
-                        facts.edges.push((h.lock.clone(), field.clone(), *line));
+                        facts.edges.push((h.lock.clone(), lock.clone(), *line));
                     }
                 }
                 // Only bound guards outlive their own statement.
                 if binding.is_some() {
                     held.push(Held {
                         binding: binding.clone(),
-                        lock: field.clone(),
+                        lock,
                         depth,
                     });
                 }
@@ -278,6 +290,10 @@ fn replay_lock_events(item: &FnItem, lock_names: &[String]) -> FnLockFacts {
                     facts.calls_holding.push((*index, held_now));
                 }
             }
+            // Condvar traffic is the dataflow layer's concern; a `wait`
+            // atomically releases and reacquires the same mutex, which
+            // cannot create a new ordering edge.
+            LockEvent::CondvarWait { .. } | LockEvent::Notify { .. } => {}
         }
     }
     facts
@@ -311,9 +327,9 @@ pub fn lock_graph(
         .enumerate()
         .map(|(i, item)| {
             if in_scope[i] {
-                replay_lock_events(item, lock_names)
+                replay_lock_events(item, lock_names, crate_dir_of(&item.file))
             } else {
-                replay_lock_events(item, &[])
+                replay_lock_events(item, &[], "")
             }
         })
         .collect();

@@ -36,6 +36,22 @@
 //! * `alloc-in-hot-path` — flags allocation-family calls inside functions
 //!   marked `// lint: hot` or matching configured hot-path prefixes.
 //!
+//! The dataflow rules (guard-liveness through bodies, one level across
+//! calls — [`dataflow`], DESIGN.md §14):
+//!
+//! * `blocking-under-lock` — blocking primitives (condvar waits, `join`,
+//!   channel `recv`, `thread::sleep`, file I/O, engine submission)
+//!   executed while any lock guard is live, with the guard's acquisition
+//!   site and the caller→callee chain.
+//! * `atomic-ordering` — every atomic site classified by crate-qualified
+//!   field against a mandatory `[[atomics]]` contract in `lint.toml`;
+//!   Relaxed halves of publication store/load pairs are flagged.
+//! * `condvar-protocol` — waits not re-checked in a loop, and notifies
+//!   that neither hold nor provably follow the predicate's mutex.
+//!
+//! Findings export as human text, JSON, or SARIF 2.1.0 ([`sarif`]) for
+//! inline PR annotation.
+//!
 //! Pre-existing findings are burned down deliberately through the
 //! checked-in baseline (`lint.toml`): every suppression names a rule, a
 //! path and a reason. `--deny` (the CI mode) fails on any non-baselined
@@ -47,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
 pub mod engine;
 pub mod findings;
 pub mod graph;
@@ -54,7 +71,8 @@ pub mod lexer;
 pub mod parser;
 pub mod resolve;
 pub mod rules;
+pub mod sarif;
 
-pub use config::{LintConfig, Suppression};
+pub use config::{AtomicContract, LintConfig, Suppression};
 pub use engine::{analyze_sources, apply_baseline, lint_source, run, run_full, Analysis};
 pub use findings::{Finding, GraphStats, Report, Severity, StaleSuppression};

@@ -1,5 +1,6 @@
 //! spectro-lint CLI:
-//! `cargo run -p lint --release -- [--deny] [--json] [--stats] [--lock-dot PATH]`.
+//! `cargo run -p lint --release -- [--deny] [--json] [--stats] [--lock-dot PATH]
+//! [--sarif PATH]`.
 //!
 //! Exit codes: 0 on success (or findings without `--deny`), 1 when
 //! `--deny` is set and non-baselined findings or stale suppressions
@@ -19,6 +20,7 @@ struct Options {
     deny: bool,
     stats: bool,
     lock_dot: Option<PathBuf>,
+    sarif: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,6 +31,7 @@ fn parse_args() -> Result<Options, String> {
         deny: false,
         stats: false,
         lock_dot: None,
+        sarif: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,18 +55,25 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or_else(|| "--lock-dot needs a path".to_string())?,
                 ));
             }
+            "--sarif" => {
+                options.sarif = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--sarif needs a path".to_string())?,
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "spectro-lint: workspace static analysis\n\n\
                      USAGE: lint [--root PATH] [--config PATH] [--json] [--deny] [--stats] \
-                     [--lock-dot PATH]\n\n\
+                     [--lock-dot PATH] [--sarif PATH]\n\n\
                      --root PATH      workspace root to scan (default: .)\n\
                      --config PATH    lint.toml to use (default: <root>/lint.toml)\n\
                      --json           machine-readable report on stdout\n\
                      --deny           exit non-zero on any non-baselined finding or stale\n\
                      \x20                suppression (CI mode)\n\
                      --stats          print symbol-graph size and resolved-call ratio\n\
-                     --lock-dot PATH  write the lock acquisition graph as GraphViz DOT"
+                     --lock-dot PATH  write the lock acquisition graph as GraphViz DOT\n\
+                     --sarif PATH     write active findings as SARIF 2.1.0 (PR annotations)"
                 );
                 std::process::exit(0);
             }
@@ -127,6 +137,13 @@ fn main() -> ExitCode {
     if let Some(dot_path) = &options.lock_dot {
         if let Err(error) = std::fs::write(dot_path, &lock_dot) {
             eprintln!("spectro-lint: writing {}: {error}", dot_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(sarif_path) = &options.sarif {
+        let sarif = lint::sarif::to_sarif_string(&report);
+        if let Err(error) = std::fs::write(sarif_path, sarif) {
+            eprintln!("spectro-lint: writing {}: {error}", sarif_path.display());
             return ExitCode::from(2);
         }
     }

@@ -41,15 +41,18 @@ pub enum Resolution {
 const COMMON_METHODS: &[&str] = &[
     "all", "and_then", "any", "as_bytes", "as_ref", "as_str", "abs", "chain", "clamp", "clone",
     "cloned", "cmp", "collect", "contains", "copied", "count", "default", "drain", "ends_with",
-    "enumerate", "eq", "extend", "extend_from_slice", "fetch_add", "filter", "filter_map",
+    "compare_exchange", "compare_exchange_weak", "enumerate", "eq", "extend",
+    "extend_from_slice", "fetch_add", "fetch_and", "fetch_max", "fetch_min", "fetch_or",
+    "fetch_sub", "fetch_update", "fetch_xor", "filter", "filter_map",
     "find", "first", "flat_map", "flatten", "fmt", "fold", "from", "get", "get_mut", "hash",
     "insert", "into", "into_iter", "is_empty", "is_some", "is_none", "iter", "iter_mut",
     "join", "last", "len", "load", "lock", "map", "map_err", "max", "min", "new", "next",
     "notify_all", "notify_one", "ok", "ok_or", "ok_or_else", "parse", "pop", "position",
-    "product", "push", "read", "remove", "rev", "reserve", "sort", "sort_by", "sort_by_key",
+    "product", "push", "read", "recv", "recv_timeout", "remove", "rev", "reserve", "sleep",
+    "sort", "sort_by", "sort_by_key",
     "split", "starts_with", "store", "sum", "swap", "take", "to_owned", "to_string", "to_vec",
     "trim", "unwrap", "unwrap_or", "unwrap_or_default", "unwrap_or_else", "expect", "wait",
-    "write", "zip",
+    "wait_timeout", "write", "zip",
 ];
 
 /// First path segments that mark a call as external to the workspace.

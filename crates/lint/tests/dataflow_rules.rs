@@ -1,0 +1,206 @@
+//! Fixture tests for the dataflow rules (`blocking-under-lock`,
+//! `atomic-ordering`, `condvar-protocol`) with exact per-rule counts,
+//! plus SARIF export over a dataflow report.
+//!
+//! Fixtures are fed through [`lint::engine::analyze_sources`] as
+//! synthetic `serve`-crate workspaces (the dataflow rules only scope the
+//! concurrency crates), so guard-liveness replay, the one-level
+//! interprocedural expansion and the contract checks run exactly as they
+//! do on the real tree.
+
+use lint::engine::{analyze_sources, Analysis};
+use lint::findings::Finding;
+use lint::LintConfig;
+
+fn analyze(files: &[(&str, &str)], config_text: &str) -> Analysis {
+    let config = LintConfig::parse(config_text).expect("fixture config parses");
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(path, source)| ((*path).to_string(), (*source).to_string()))
+        .collect();
+    analyze_sources(&sources, &config)
+}
+
+fn rule_findings<'a>(analysis: &'a Analysis, rule: &str) -> Vec<&'a Finding> {
+    analysis
+        .report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+#[test]
+fn blocking_under_lock_flags_direct_and_one_level_interprocedural_sites() {
+    let analysis = analyze(
+        &[(
+            "crates/serve/src/worker.rs",
+            include_str!("fixtures/blocking_under_lock.rs"),
+        )],
+        "",
+    );
+    let findings = rule_findings(&analysis, "blocking-under-lock");
+    // sleeps_under_lock, recv_under_lock, calls_blocking_helper — and
+    // nothing from clean_drops_first or the helper itself (no guard).
+    assert_eq!(findings.len(), 3, "findings: {findings:?}");
+
+    let sleep = &findings[0];
+    assert_eq!(sleep.line, 7, "the sleep under the live guard");
+    assert!(sleep.message.contains("thread::sleep"), "{}", sleep.message);
+    assert!(
+        sleep.message.contains("guard `state` on `serve::state` (acquired line 6)"),
+        "{}",
+        sleep.message
+    );
+
+    let recv = &findings[1];
+    assert_eq!(recv.line, 13);
+    assert!(recv.message.contains(".recv(..) channel receive"), "{}", recv.message);
+
+    // The helper call inherits the callee's sleep site with the chain.
+    let chain = &findings[2];
+    assert_eq!(chain.line, 20, "the drain(queue) call site");
+    assert!(
+        chain.message.contains("the callee blocks: thread::sleep at crates/serve/src/worker.rs:25"),
+        "{}",
+        chain.message
+    );
+    assert!(
+        chain
+            .message
+            .contains("chain serve::worker::calls_blocking_helper → serve::worker::drain"),
+        "{}",
+        chain.message
+    );
+
+    // Every call under a live guard counts, blocking or not: the three
+    // blocking sites, the Duration::from_millis argument call, and the
+    // four drop(state) calls themselves.
+    assert_eq!(analysis.report.stats.guard_live_sites, 8);
+}
+
+#[test]
+fn atomic_ordering_enforces_contracts_and_publication_pairs() {
+    let config = r#"
+[[atomics]]
+field = "serve::stop"
+allowed = ["Relaxed"]
+reason = "advisory shutdown flag"
+
+[[atomics]]
+field = "serve::phase"
+allowed = ["Relaxed"]
+reason = "the SeqCst store is the contract violation under test"
+
+[[atomics]]
+field = "serve::ready"
+allowed = ["Relaxed", "Acquire"]
+reason = "readiness flag; the Relaxed store is the bug under test"
+"#;
+    let analysis = analyze(
+        &[(
+            "crates/serve/src/flags.rs",
+            include_str!("fixtures/atomic_ordering.rs"),
+        )],
+        config,
+    );
+    let findings = rule_findings(&analysis, "atomic-ordering");
+    assert_eq!(findings.len(), 3, "findings: {findings:?}");
+
+    // `serve::epoch` has no [[atomics]] contract at all.
+    let missing = findings
+        .iter()
+        .find(|f| f.message.contains("`serve::epoch`"))
+        .expect("missing-contract finding");
+    assert_eq!(missing.line, 16);
+    assert!(
+        missing.message.contains("no [[atomics]] contract"),
+        "{}",
+        missing.message
+    );
+
+    // The SeqCst store of `serve::phase` is outside its Relaxed-only contract.
+    let outside = findings
+        .iter()
+        .find(|f| f.message.contains("`serve::phase`"))
+        .expect("disallowed-ordering finding");
+    assert_eq!(outside.line, 12);
+    assert!(
+        outside.message.contains("Ordering::SeqCst") && outside.message.contains("[Relaxed]"),
+        "{}",
+        outside.message
+    );
+
+    // The Relaxed store of `serve::ready` pairs with an Acquire load:
+    // flagged even though the contract allows both orderings.
+    let mismatch = findings
+        .iter()
+        .find(|f| f.message.contains("`serve::ready`"))
+        .expect("publication-mismatch finding");
+    assert_eq!(mismatch.line, 20, "the Relaxed store half");
+    assert!(
+        mismatch.message.contains("Acquire/SeqCst load"),
+        "{}",
+        mismatch.message
+    );
+
+    assert_eq!(analysis.report.stats.atomic_sites, 6);
+}
+
+#[test]
+fn condvar_protocol_flags_loopless_wait_and_unordered_notify() {
+    let analysis = analyze(
+        &[(
+            "crates/serve/src/signal.rs",
+            include_str!("fixtures/condvar_protocol.rs"),
+        )],
+        "",
+    );
+    let findings = rule_findings(&analysis, "condvar-protocol");
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+
+    // bad_wait: the wait never re-checks its predicate in a loop.
+    let wait = &findings[0];
+    assert_eq!(wait.line, 22);
+    assert!(
+        wait.message
+            .contains("`serve::not_empty.wait(..)` outside any loop"),
+        "{}",
+        wait.message
+    );
+
+    // bad_notify: neither holds nor follows `serve::state`, the predicate
+    // mutex learned from the wait sites.
+    let notify = &findings[1];
+    assert_eq!(notify.line, 27);
+    assert!(
+        notify
+            .message
+            .contains("without holding or previously acquiring its predicate mutex [serve::state]"),
+        "{}",
+        notify.message
+    );
+
+    // good_wait and bad_wait both counted; good_notify raised nothing.
+    assert_eq!(analysis.report.stats.condvar_waits, 2);
+    assert!(rule_findings(&analysis, "blocking-under-lock").is_empty());
+}
+
+#[test]
+fn dataflow_findings_export_as_sarif_results() {
+    let analysis = analyze(
+        &[(
+            "crates/serve/src/worker.rs",
+            include_str!("fixtures/blocking_under_lock.rs"),
+        )],
+        "",
+    );
+    let doc = lint::sarif::to_sarif(&analysis.report);
+    let results = doc["runs"][0]["results"].as_array().expect("results array");
+    assert_eq!(results.len(), 3);
+    assert!(results
+        .iter()
+        .all(|r| r["ruleId"] == serde_json::json!("blocking-under-lock")));
+    let uri = &results[0]["locations"][0]["physicalLocation"]["artifactLocation"]["uri"];
+    assert_eq!(uri, &serde_json::json!("crates/serve/src/worker.rs"));
+}

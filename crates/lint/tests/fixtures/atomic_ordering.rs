@@ -1,0 +1,25 @@
+//! Fixture for `atomic-ordering`: one field operating inside its
+//! contract, one site outside its contract, one field with no contract at
+//! all, and one Relaxed/Acquire publication mismatch.
+
+pub fn within_contract(flags: &Flags) {
+    flags.stop.store(true, Ordering::Relaxed);
+    let stopped = flags.stop.load(Ordering::Relaxed);
+    consume(stopped);
+}
+
+pub fn outside_contract(flags: &Flags) {
+    flags.phase.store(1, Ordering::SeqCst);
+}
+
+pub fn no_contract(flags: &Flags) {
+    flags.epoch.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn published(flags: &Flags) {
+    flags.ready.store(true, Ordering::Relaxed);
+}
+
+pub fn observed(flags: &Flags) -> bool {
+    flags.ready.load(Ordering::Acquire)
+}

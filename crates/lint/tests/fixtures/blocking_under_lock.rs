@@ -1,0 +1,33 @@
+//! Known-bad fixture: blocking primitives executed while lock guards are
+//! live — directly and one level across a call — plus a clean function
+//! that drops its guard before blocking.
+
+pub fn sleeps_under_lock(queue: &Queue) {
+    let state = queue.state.lock();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    drop(state);
+}
+
+pub fn recv_under_lock(queue: &Queue, rx: &Receiver) {
+    let state = queue.state.lock();
+    let item = rx.recv();
+    drop(state);
+    consume(item);
+}
+
+pub fn calls_blocking_helper(queue: &Queue) {
+    let state = queue.state.lock();
+    drain(queue);
+    drop(state);
+}
+
+fn drain(queue: &Queue) {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    queue.poke();
+}
+
+pub fn clean_drops_first(queue: &Queue) {
+    let state = queue.state.lock();
+    drop(state);
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

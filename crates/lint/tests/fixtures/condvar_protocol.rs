@@ -1,0 +1,28 @@
+//! Fixture for `condvar-protocol`: a correct wait-in-loop plus
+//! notify-after-critical-section, a wait outside any loop, and a notify
+//! that neither holds nor follows the predicate's mutex.
+
+pub fn good_wait(sync: &Shared) {
+    let mut state = sync.state.lock();
+    while state.pending == 0 {
+        state = sync.not_empty.wait(state);
+    }
+    drop(state);
+}
+
+pub fn good_notify(sync: &Shared) {
+    let mut state = sync.state.lock();
+    state.pending += 1;
+    drop(state);
+    sync.not_empty.notify_one();
+}
+
+pub fn bad_wait(sync: &Shared) {
+    let state = sync.state.lock();
+    let state = sync.not_empty.wait(state);
+    drop(state);
+}
+
+pub fn bad_notify(sync: &Shared) {
+    sync.not_empty.notify_all();
+}

@@ -11,8 +11,10 @@ use lint::findings::Finding;
 use lint::LintConfig;
 
 /// The lock order the serve/obs crates declare in the real lint.toml,
-/// trimmed to the names these fixtures use.
-const LOCK_CONFIG: &str = "[lock-order]\norder = [\"models\", \"state\", \"result\"]\n";
+/// trimmed to the names these fixtures use. Lock identities are
+/// crate-qualified, so same-named fields in other crates never alias.
+const LOCK_CONFIG: &str =
+    "[lock-order]\norder = [\"serve::models\", \"serve::state\", \"serve::result\"]\n";
 
 fn analyze(files: &[(&str, &str)], config_text: &str) -> Analysis {
     let config = LintConfig::parse(config_text).expect("fixture config parses");
@@ -197,7 +199,9 @@ fn lock_graph_detects_the_cross_function_cycle_and_emits_dot() {
         .find(|f| f.message.contains("lock cycle"))
         .expect("cycle finding");
     assert!(
-        cycle.message.contains("models → state → models"),
+        cycle
+            .message
+            .contains("serve::models → serve::state → serve::models"),
         "{}",
         cycle.message
     );
@@ -207,8 +211,8 @@ fn lock_graph_detects_the_cross_function_cycle_and_emits_dot() {
     let dot = &analysis.lock_dot;
     assert!(dot.starts_with("digraph lock_graph {"), "{dot}");
     assert!(dot.trim_end().ends_with('}'), "{dot}");
-    assert!(dot.contains("\"models\" -> \"state\""), "{dot}");
-    assert!(dot.contains("\"state\" -> \"models\""), "{dot}");
+    assert!(dot.contains("\"serve::models\" -> \"serve::state\""), "{dot}");
+    assert!(dot.contains("\"serve::state\" -> \"serve::models\""), "{dot}");
     assert_eq!(dot.matches(", color=red").count(), 2, "{dot}");
 }
 

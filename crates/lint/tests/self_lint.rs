@@ -22,6 +22,14 @@ fn workspace_passes_spectro_lint_with_the_shipped_baseline() {
         config.suppressions.iter().all(|s| !s.reason.trim().is_empty()),
         "every suppression must carry a reason"
     );
+    assert!(
+        !config.atomics.is_empty(),
+        "the shipped baseline is expected to carry [[atomics]] contracts"
+    );
+    assert!(
+        config.atomics.iter().all(|c| !c.reason.trim().is_empty()),
+        "every [[atomics]] contract must carry a reason"
+    );
 
     let analysis = lint::run_full(&root, &config).expect("workspace scan succeeds");
     let report = &analysis.report;
@@ -52,6 +60,9 @@ fn workspace_passes_spectro_lint_with_the_shipped_baseline() {
     assert!(stats.calls_resolved > 100, "resolver resolved too little: {stats}");
     assert!(stats.entry_points > 50, "entry-point detection broke: {stats}");
     assert!(stats.lock_nodes > 0 && stats.lock_edges > 0, "lock graph empty: {stats}");
+    assert!(stats.guard_live_sites > 0, "guard-liveness replay saw nothing: {stats}");
+    assert!(stats.atomic_sites > 0, "atomic-site classification saw nothing: {stats}");
+    assert!(stats.condvar_waits > 0, "condvar-wait detection saw nothing: {stats}");
 
     let dot = &analysis.lock_dot;
     assert!(dot.starts_with("digraph lock_graph {"), "{dot}");

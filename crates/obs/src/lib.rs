@@ -281,7 +281,10 @@ impl InstallGuard {
 
 impl Drop for InstallGuard {
     fn drop(&mut self) {
-        ENABLED.store(false, Ordering::SeqCst);
+        // Relaxed: ENABLED is only an advisory fast-path hint; the ACTIVE
+        // RwLock below carries the collector and the synchronization. A
+        // stale read costs one extra lock round-trip, never a wrong value.
+        ENABLED.store(false, Ordering::Relaxed);
         *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = None;
     }
 }
@@ -292,7 +295,8 @@ pub fn install(collector: Collector) -> InstallGuard {
     let gate = INSTALL_GATE.lock().unwrap_or_else(PoisonError::into_inner);
     let collector = Arc::new(collector);
     *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&collector));
-    ENABLED.store(true, Ordering::SeqCst);
+    // Relaxed: see InstallGuard::drop — ACTIVE is the source of truth.
+    ENABLED.store(true, Ordering::Relaxed);
     InstallGuard {
         collector,
         _gate: gate,

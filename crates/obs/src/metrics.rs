@@ -176,7 +176,7 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|bucket| bucket.load(Ordering::Relaxed))
             .collect()
     }
 
